@@ -1,0 +1,89 @@
+// Package bespoke is a from-scratch Go reproduction of "Bespoke
+// Processors for Applications with Ultra-low Area and Power Constraints"
+// (Cherupalli, Duwe, Ye, Kumar, Sartori; ISCA 2017), and this file is its
+// public API: assemble an MSP430 application, tailor the general purpose
+// gate-level microcontroller to it, and inspect the resulting bespoke
+// design.
+//
+//	prog, _ := bespoke.Assemble(source)
+//	res, _ := bespoke.Tailor(prog, nil)
+//	fmt.Println(res.GateSavings, res.PowerSavings)
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory); the commands under cmd/ and the programs under examples/
+// are thin clients of the same surface.
+package bespoke
+
+import (
+	"io"
+
+	"bespoke/internal/asm"
+	"bespoke/internal/core"
+	"bespoke/internal/symexec"
+)
+
+// Program is an assembled MSP430 binary image plus its metadata
+// (symbols, source map, decoded instructions).
+type Program = asm.Program
+
+// Workload is a representative concrete stimulus (RAM preload, input
+// port and interrupt schedules) used for dynamic power measurement and
+// input-based verification.
+type Workload = core.Workload
+
+// Result is the outcome of tailoring: baseline and bespoke signoff
+// metrics, the analysis statistics, the headline savings, and the still-
+// executable bespoke design.
+type Result = core.Result
+
+// Options tunes the flow (analysis limits, clock period, cell library).
+type Options = core.Options
+
+// Assemble translates MSP430 assembly (the dialect documented in
+// internal/asm) into a Program.
+func Assemble(source string) (*Program, error) { return asm.Assemble(source) }
+
+// Tailor produces a bespoke processor for one application: it proves
+// which gates the binary can never toggle for any input, cuts them,
+// re-synthesizes, places, and signs off timing and power against the
+// general purpose baseline. A nil workload measures power on a plain
+// run of the program.
+func Tailor(prog *Program, w *Workload) (*Result, error) {
+	return core.Tailor(prog, w, core.Options{})
+}
+
+// TailorWithOptions is Tailor with explicit flow options.
+func TailorWithOptions(prog *Program, w *Workload, opts Options) (*Result, error) {
+	return core.Tailor(prog, w, opts)
+}
+
+// TailorMulti produces one bespoke processor supporting every given
+// application (the union of their exercisable gates, Section 3.5).
+func TailorMulti(progs []*Program, ws []*Workload) (*Result, error) {
+	return core.TailorMulti(progs, ws, core.Options{})
+}
+
+// SupportsUpdate reports whether the bespoke design tailored to base
+// would execute update correctly: every gate the update can exercise
+// must be kept (the paper's Section 3.5 in-field update test).
+func SupportsUpdate(base []*Program, update *Program) (bool, error) {
+	ba, err := core.UnionAnalysis(base, symexec.Options{})
+	if err != nil {
+		return false, err
+	}
+	ua, _, err := symexec.Analyze(update, symexec.Options{})
+	if err != nil {
+		return false, err
+	}
+	for g := range ua.Toggled {
+		if ua.Toggled[g] && !ba.Toggled[g] {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// WriteVerilog emits a result's bespoke netlist as structural Verilog.
+func WriteVerilog(res *Result, w io.Writer) error {
+	return res.BespokeCore.N.WriteVerilog(w, "bespoke_core")
+}

@@ -1,0 +1,81 @@
+package bespoke
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const tinyApp = `
+        .org 0xF000
+start:  mov #0x5A80, &WDTCTL
+        mov #STACKTOP, sp
+        mov #3, r4
+        add #4, r4
+        mov r4, &OUTPORT
+        dint
+        jmp $
+        .org 0xFFFE
+        .word start
+`
+
+func TestPublicAPITailor(t *testing.T) {
+	prog, err := Assemble(tinyApp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Tailor(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GateSavings < 0.5 || res.PowerSavings < 0.3 {
+		t.Errorf("savings too small: %+v", res)
+	}
+	var v bytes.Buffer
+	if err := WriteVerilog(res, &v); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(v.String(), "module bespoke_core") {
+		t.Error("verilog export broken")
+	}
+}
+
+func TestPublicAPISupportsUpdate(t *testing.T) {
+	prog, err := Assemble(tinyApp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := SupportsUpdate([]*Program{prog}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("a program must support itself")
+	}
+	other, err := Assemble(strings.Replace(tinyApp, "add #4, r4", "mov #9, &MPY\n        mov #9, &OP2\n        mov &RESLO, r4", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err = SupportsUpdate([]*Program{prog}, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("a multiplying update cannot run on a multiplier-free design")
+	}
+}
+
+func TestPublicAPITailorMulti(t *testing.T) {
+	a, _ := Assemble(tinyApp)
+	b, err := Assemble(strings.Replace(tinyApp, "add #4, r4", "sub #1, r4", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := TailorMulti([]*Program{a, b}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GateSavings <= 0 {
+		t.Error("multi-program tailoring saved nothing")
+	}
+}

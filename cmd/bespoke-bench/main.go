@@ -1,0 +1,88 @@
+// Command bespoke-bench regenerates the paper's evaluation: every table
+// and figure, on the reproduction's substrates.
+//
+// Usage:
+//
+//	bespoke-bench [-quick] [-exp <id>]
+//
+// Experiment ids: table1, fig2, fig3, fig4, fig10, fig11, table2, fig12,
+// table3, fig13, mutants (tables 4+5 and fig 14), fig15, subneg, rtos,
+// table6, all (default).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bespoke/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "trimmed benchmark suite and sweeps")
+	exp := flag.String("exp", "all", "experiment to run")
+	flag.Parse()
+
+	if err := run(*exp, *quick); err != nil {
+		fmt.Fprintln(os.Stderr, "bespoke-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, quick bool) error {
+	w := os.Stdout
+	t0 := time.Now()
+	defer func() { fmt.Fprintf(w, "\n[%s done in %v]\n", exp, time.Since(t0).Round(time.Millisecond)) }()
+
+	runTailor := func() error {
+		rows, err := experiments.TailorAll(quick)
+		if err != nil {
+			return err
+		}
+		experiments.Fig11(w, rows)
+		experiments.Table2(w, rows)
+		return nil
+	}
+	runMutants := func() error {
+		_, err := experiments.RunMutants(w, quick)
+		return err
+	}
+
+	steps := map[string]func() error{
+		"table1":  func() error { return experiments.Table1(w, quick) },
+		"fig2":    func() error { return experiments.Fig2(w, quick) },
+		"fig3":    func() error { return experiments.Fig3(w) },
+		"fig4":    func() error { return experiments.Fig4(w) },
+		"fig10":   func() error { _, err := experiments.Fig10(w, quick); return err },
+		"fig11":   runTailor,
+		"table2":  runTailor,
+		"fig12":   func() error { _, err := experiments.Fig12(w, quick); return err },
+		"table3":  func() error { _, err := experiments.Table3(w, quick); return err },
+		"fig13":   func() error { _, err := experiments.Fig13(w, quick); return err },
+		"mutants": runMutants,
+		"table4":  runMutants,
+		"table5":  runMutants,
+		"fig14":   runMutants,
+		"fig15":   func() error { _, err := experiments.Fig15(w, quick); return err },
+		"subneg":  func() error { _, err := experiments.SubnegStudy(w, quick); return err },
+		"rtos":    func() error { _, err := experiments.RunRTOS(w); return err },
+		"table6":  func() error { experiments.Table6(w); return nil },
+	}
+	if exp == "all" {
+		order := []string{"table1", "table6", "fig2", "fig3", "fig4", "fig10",
+			"fig11", "fig12", "table3", "fig13", "mutants", "fig15", "subneg", "rtos"}
+		for _, id := range order {
+			fmt.Fprintf(w, "\n##### %s #####\n", id)
+			if err := steps[id](); err != nil {
+				return fmt.Errorf("%s: %w", id, err)
+			}
+		}
+		return nil
+	}
+	f, ok := steps[exp]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return f()
+}

@@ -1,0 +1,62 @@
+// Command msp430-asm assembles an MSP430 source file and prints a
+// listing (address, encoded words, decoded instruction).
+//
+// Usage:
+//
+//	msp430-asm [-ihex out.hex] prog.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"bespoke/internal/asm"
+)
+
+func main() {
+	ihex := flag.String("ihex", "", "also write the image as Intel HEX to this file")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: msp430-asm [-ihex out.hex] prog.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "msp430-asm:", err)
+		os.Exit(1)
+	}
+	p, err := asm.Assemble(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "msp430-asm:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("; origin %#04x, %d bytes, %d instructions\n", p.Origin, len(p.Bytes), len(p.InstAddrs))
+	for _, addr := range p.InstAddrs {
+		in := p.Insts[addr]
+		fmt.Printf("%04x:  %04x  %v\n", addr, p.Word(addr), in)
+	}
+	syms := make([]string, 0, len(p.Symbols))
+	for s := range p.Symbols {
+		syms = append(syms, s)
+	}
+	sort.Strings(syms)
+	fmt.Println("; symbols:")
+	for _, s := range syms {
+		fmt.Printf(";   %-16s %#04x\n", s, p.Symbols[s])
+	}
+	if *ihex != "" {
+		f, err := os.Create(*ihex)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "msp430-asm:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := p.WriteIHex(f); err != nil {
+			fmt.Fprintln(os.Stderr, "msp430-asm:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("; wrote %s\n", *ihex)
+	}
+}

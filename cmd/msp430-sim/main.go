@@ -1,0 +1,107 @@
+// Command msp430-sim runs an MSP430 program on the instruction-level
+// golden model and, with -gate, co-simulates it on the gate-level core,
+// checking that the two agree.
+//
+// Usage:
+//
+//	msp430-sim [-gate] [-max N] prog.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bespoke/internal/asm"
+	"bespoke/internal/core"
+	"bespoke/internal/cpu"
+	"bespoke/internal/isasim"
+	"bespoke/internal/netlist"
+	"bespoke/internal/sim"
+)
+
+func main() {
+	gate := flag.Bool("gate", false, "also run on the gate-level core and compare")
+	vcd := flag.String("vcd", "", "with -gate: dump PC/state/IR waveforms to this VCD file")
+	maxInsts := flag.Uint64("max", 1_000_000, "instruction budget")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: msp430-sim [-gate] [-vcd out.vcd] [-max N] prog.s")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *gate, *vcd, *maxInsts); err != nil {
+		fmt.Fprintln(os.Stderr, "msp430-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(file string, gate bool, vcdOut string, maxInsts uint64) error {
+	src, err := os.ReadFile(file)
+	if err != nil {
+		return err
+	}
+	p, err := asm.Assemble(string(src))
+	if err != nil {
+		return err
+	}
+	m := isasim.New(p.Bytes, p.Origin)
+	if err := m.Run(maxInsts); err != nil {
+		return err
+	}
+	fmt.Printf("halted after %d instructions (%d cycles)\n", m.Insts, m.Cycles)
+	for i, v := range m.Out {
+		fmt.Printf("out[%d] = %#04x (%d)\n", i, v, v)
+	}
+	if !gate {
+		return nil
+	}
+	if vcdOut != "" {
+		return gateRunWithVCD(p, vcdOut, m.Cycles*2)
+	}
+	c := cpu.Build()
+	tr, err := core.RunWorkload(c, p, &core.Workload{MaxCycles: m.Cycles * 2})
+	if err != nil {
+		return err
+	}
+	if len(tr.Out) != len(m.Out) {
+		return fmt.Errorf("gate-level output length %d, isa %d", len(tr.Out), len(m.Out))
+	}
+	for i := range tr.Out {
+		if tr.Out[i] != m.Out[i] {
+			return fmt.Errorf("out[%d]: gate %#x, isa %#x", i, tr.Out[i], m.Out[i])
+		}
+	}
+	fmt.Printf("gate-level run matches (%d cycles)\n", tr.Cycles)
+	return nil
+}
+
+// gateRunWithVCD runs the gate-level core cycle by cycle, dumping the
+// architectural buses to a waveform file.
+func gateRunWithVCD(p *asm.Program, path string, maxCycles uint64) error {
+	c := cpu.Build()
+	h, err := cpu.NewHarnessOn(c, p.Bytes, p.Origin)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var nets []netlist.GateID
+	nets = append(nets, c.PC()...)
+	nets = append(nets, c.State...)
+	nets = append(nets, c.IRReg...)
+	nets = append(nets, c.OutWr)
+	dump := sim.NewVCD(f, h.Sim, nets)
+	for h.Cycles < maxCycles {
+		h.Sim.Settle()
+		dump.Sample()
+		h.StepCycle()
+	}
+	if err := dump.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d cycles of waveforms to %s (out=%v)\n", h.Cycles, path, h.Out)
+	return nil
+}

@@ -1,0 +1,3 @@
+module bespoke
+
+go 1.22

@@ -1,0 +1,244 @@
+package asm
+
+import (
+	"testing"
+
+	"bespoke/internal/msp430"
+)
+
+func TestAssembleBasics(t *testing.T) {
+	p, err := Assemble(`
+        .org 0xF000
+start:  mov #0x5A80, &WDTCTL
+        mov #STACKTOP, sp
+        clr r4
+loop:   inc r4
+        cmp #10, r4
+        jne loop
+        mov r4, &OUTPORT
+        jmp $
+        .org 0xFFFE
+        .word start
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Symbols["start"] != 0xF000 {
+		t.Errorf("start = %#x", p.Symbols["start"])
+	}
+	if got := p.Word(0xFFFE); got != 0xF000 {
+		t.Errorf("reset vector = %#x", got)
+	}
+	// First instruction decodes back to mov #imm, &abs.
+	in, ok := p.Insts[0xF000]
+	if !ok {
+		t.Fatal("no instruction at 0xF000")
+	}
+	if in.Op != msp430.MOV || in.Dst.Mode != msp430.ModeAbsolute || in.Dst.Index != msp430.WDTCTL {
+		t.Errorf("first inst = %v", in)
+	}
+	if len(p.InstAddrs) != 8 {
+		t.Errorf("InstAddrs = %d, want 8", len(p.InstAddrs))
+	}
+}
+
+func TestForwardReferenceSizesStable(t *testing.T) {
+	// #tab is a forward reference: pass 1 must reserve the extension
+	// word even though tab's value (0xF00A... whatever) is not a CG
+	// constant anyway; and #one forward-references a CG-value symbol,
+	// which must STILL use the long encoding for size stability.
+	p, err := Assemble(`
+        .org 0xF000
+        mov #one, r4
+        mov #tab, r5
+        jmp $
+        .equ one, 1
+tab:    .word 42
+        .org 0xFFFE
+        .word 0xF000
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// mov #one,r4 must be 2 words: 0xF000 and ext; next inst at 0xF004.
+	if _, ok := p.Insts[0xF004]; !ok {
+		t.Fatalf("second instruction not at 0xF004; addrs=%#v", p.InstAddrs)
+	}
+	if p.Symbols["tab"] != 0xF00A {
+		t.Errorf("tab = %#x, want 0xF00A", p.Symbols["tab"])
+	}
+	if got := p.Word(0xF00A); got != 42 {
+		t.Errorf("tab word = %d", got)
+	}
+	// Backward CG reference stays short.
+	p2 := MustAssemble(`
+        .equ one, 1
+        .org 0xF000
+        mov #one, r4
+        mov #3, r5
+        .org 0xFFFE
+        .word 0xF000
+`)
+	if _, ok := p2.Insts[0xF002]; !ok {
+		t.Error("backward CG immediate was not one word")
+	}
+}
+
+func TestJumpTargets(t *testing.T) {
+	p := MustAssemble(`
+        .org 0xF000
+back:   nop
+        jmp back      ; offset -2 words
+        jeq fwd
+        nop
+fwd:    jmp $
+        .org 0xFFFE
+        .word 0xF000
+`)
+	in := p.Insts[0xF002]
+	if in.Op != msp430.JMP || in.Offset != -2 {
+		t.Errorf("jmp back = %v", in)
+	}
+	in = p.Insts[0xF004]
+	if in.Op != msp430.JEQ || in.Offset != 1 {
+		t.Errorf("jeq fwd = %v (want offset 1)", in)
+	}
+	in = p.Insts[0xF008]
+	if in.Op != msp430.JMP || in.Offset != -1 {
+		t.Errorf("jmp $ = %v (want offset -1)", in)
+	}
+}
+
+func TestEmulatedExpansions(t *testing.T) {
+	p := MustAssemble(`
+        .org 0xF000
+        ret
+        pop r5
+        br r6
+        clr r7
+        tst r8
+        inc r9
+        dec r10
+        inv r11
+        rla r12
+        eint
+        dint
+        nop
+        .org 0xFFFE
+        .word 0xF000
+`)
+	checks := map[uint16]string{
+		0xF000: "mov @r1+, r0",
+		0xF002: "mov @r1+, r5",
+		0xF004: "mov r6, r0",
+		0xF006: "mov #0x0, r7",
+		0xF008: "cmp #0x0, r8",
+		0xF00A: "add #0x1, r9",
+		0xF00C: "sub #0x1, r10",
+		0xF00E: "xor #0xffff, r11",
+		0xF010: "add r12, r12",
+		0xF012: "bis #0x8, r2",
+		0xF014: "bic #0x8, r2",
+		0xF016: "mov r3, r3",
+	}
+	for addr, want := range checks {
+		in, ok := p.Insts[addr]
+		if !ok {
+			t.Errorf("no inst at %#x", addr)
+			continue
+		}
+		if got := in.String(); got != want {
+			t.Errorf("at %#x: %q, want %q", addr, got, want)
+		}
+	}
+}
+
+func TestDirectives(t *testing.T) {
+	p := MustAssemble(`
+        .org 0xF000
+        .byte 1, 2, 3
+        .space 3
+data:   .word 0xABCD, data
+        .org 0xFFFE
+        .word 0xF000
+`)
+	if p.Symbols["data"] != 0xF006 {
+		t.Fatalf("data = %#x", p.Symbols["data"])
+	}
+	if got := p.Word(0xF006); got != 0xABCD {
+		t.Errorf("word 0 = %#x", got)
+	}
+	if got := p.Word(0xF008); got != 0xF006 {
+		t.Errorf("word 1 = %#x", got)
+	}
+	if p.Bytes[0] != 1 || p.Bytes[1] != 2 || p.Bytes[2] != 3 {
+		t.Errorf("bytes = %v", p.Bytes[:3])
+	}
+	if p.Bytes[3] != 0 || p.Bytes[4] != 0 || p.Bytes[5] != 0 {
+		t.Errorf("space not zeroed: %v", p.Bytes[3:6])
+	}
+}
+
+func TestOperandForms(t *testing.T) {
+	p := MustAssemble(`
+        .equ V, 0x204
+        .org 0xF000
+        mov 2(r4), r5
+        mov @r6, r7
+        mov @r8+, r9
+        mov &V, r10
+        mov V, r10      ; bare symbol lowers to absolute
+        mov #-1, r11
+        .org 0xFFFE
+        .word 0xF000
+`)
+	if in := p.Insts[0xF000]; in.Src.Mode != msp430.ModeIndexed || in.Src.Index != 2 || in.Src.Reg != 4 {
+		t.Errorf("indexed: %v", in)
+	}
+	if in := p.Insts[0xF004]; in.Src.Mode != msp430.ModeIndirect {
+		t.Errorf("indirect: %v", in)
+	}
+	if in := p.Insts[0xF006]; in.Src.Mode != msp430.ModeIndirectInc {
+		t.Errorf("indirect inc: %v", in)
+	}
+	if in := p.Insts[0xF008]; in.Src.Mode != msp430.ModeAbsolute || in.Src.Index != 0x204 {
+		t.Errorf("absolute: %v", in)
+	}
+	if in := p.Insts[0xF00C]; in.Src.Mode != msp430.ModeAbsolute || in.Src.Index != 0x204 {
+		t.Errorf("bare symbol: %v", in)
+	}
+	if in := p.Insts[0xF010]; in.Src.Mode != msp430.ModeImmediate || in.Src.Index != 0xFFFF {
+		t.Errorf("negative imm: %v", in)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []string{
+		"bogus r4, r5",
+		"mov r4",
+		"jmp faraway",                      // undefined
+		".org 0xF000\nl: nop\nl: nop",      // duplicate label
+		".org 0xF000\nmov r4, @r5",         // bad dst mode
+		".org 0xF000\nmov r4, #5",          // bad dst mode
+		".org 0xF000\nswpb.b r4",           // no byte form
+		".org 0xF000\njmp 0xF000+0x1000+2", // out of range (even distance)
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestLineOfTracksSourceLines(t *testing.T) {
+	p := MustAssemble(`
+        .org 0xF000
+        nop
+        nop
+        .org 0xFFFE
+        .word 0xF000
+`)
+	if p.LineOf[0xF000] != 3 || p.LineOf[0xF002] != 4 {
+		t.Errorf("LineOf = %v", p.LineOf)
+	}
+}

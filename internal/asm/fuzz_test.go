@@ -1,0 +1,50 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestAssembleNeverPanics feeds the assembler adversarial text built
+// from its own token vocabulary: it may reject, but must not panic.
+func TestAssembleNeverPanics(t *testing.T) {
+	vocab := []string{
+		"mov", "add.b", "jne", ".org", ".word", ".equ", ".space", "push",
+		"#", "&", "@", "(", ")", "+", "-", ",", ":", ";", "$",
+		"r4", "r15", "pc", "sr", "0x", "0xFFFF", "label", "WDTCTL", "\n",
+		"        ", "reti", "call", "swpb", "1(", "r1)", "..", "--",
+	}
+	f := func(picks []uint8) bool {
+		var b strings.Builder
+		for _, p := range picks {
+			b.WriteString(vocab[int(p)%len(vocab)])
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on input %q: %v", b.String(), r)
+			}
+		}()
+		_, _ = Assemble(b.String())
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAssembleLineNoise feeds raw random bytes.
+func TestAssembleLineNoise(t *testing.T) {
+	f := func(raw []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on %q: %v", raw, r)
+			}
+		}()
+		_, _ = Assemble(string(raw))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,92 @@
+package asm
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteIHex emits the assembled image as Intel HEX records (the format
+// embedded flash programmers consume), 16 data bytes per record, with a
+// terminating EOF record.
+func (p *Program) WriteIHex(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for off := 0; off < len(p.Bytes); off += 16 {
+		end := off + 16
+		if end > len(p.Bytes) {
+			end = len(p.Bytes)
+		}
+		data := p.Bytes[off:end]
+		addr := p.Origin + uint16(off)
+		sum := byte(len(data)) + byte(addr>>8) + byte(addr)
+		fmt.Fprintf(bw, ":%02X%04X00", len(data), addr)
+		for _, b := range data {
+			fmt.Fprintf(bw, "%02X", b)
+			sum += b
+		}
+		fmt.Fprintf(bw, "%02X\n", byte(-int8(sum)))
+	}
+	fmt.Fprintln(bw, ":00000001FF")
+	return bw.Flush()
+}
+
+// ReadIHex parses Intel HEX records back into (origin, image).
+func ReadIHex(r io.Reader) (uint16, []byte, error) {
+	var buf [65536]byte
+	lo, hi := 65536, 0
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if !strings.HasPrefix(line, ":") || len(line) < 11 || len(line)%2 == 0 {
+			return 0, nil, fmt.Errorf("ihex line %d: malformed record", lineNo)
+		}
+		raw := make([]byte, (len(line)-1)/2)
+		for i := range raw {
+			var b byte
+			if _, err := fmt.Sscanf(line[1+2*i:3+2*i], "%02X", &b); err != nil {
+				return 0, nil, fmt.Errorf("ihex line %d: %v", lineNo, err)
+			}
+			raw[i] = b
+		}
+		count := int(raw[0])
+		if len(raw) != count+5 {
+			return 0, nil, fmt.Errorf("ihex line %d: length mismatch", lineNo)
+		}
+		var sum byte
+		for _, b := range raw {
+			sum += b
+		}
+		if sum != 0 {
+			return 0, nil, fmt.Errorf("ihex line %d: bad checksum", lineNo)
+		}
+		typ := raw[3]
+		switch typ {
+		case 0x00:
+			addr := int(raw[1])<<8 | int(raw[2])
+			copy(buf[addr:], raw[4:4+count])
+			if addr < lo {
+				lo = addr
+			}
+			if addr+count > hi {
+				hi = addr + count
+			}
+		case 0x01:
+			if lo > hi {
+				return 0, nil, fmt.Errorf("ihex: no data records")
+			}
+			return uint16(lo), append([]byte(nil), buf[lo:hi]...), nil
+		default:
+			return 0, nil, fmt.Errorf("ihex line %d: unsupported record type %#02x", lineNo, typ)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, nil, err
+	}
+	return 0, nil, fmt.Errorf("ihex: missing EOF record")
+}

@@ -1,0 +1,87 @@
+package asm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestIHexRoundTrip(t *testing.T) {
+	p := MustAssemble(`
+        .org 0xF000
+start:  mov #0x5A80, &WDTCTL
+        mov #1, &OUTPORT
+        dint
+        jmp $
+        .org 0xFFFE
+        .word start
+`)
+	var b bytes.Buffer
+	if err := p.WriteIHex(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(strings.TrimSpace(b.String()), ":00000001FF") {
+		t.Error("missing EOF record")
+	}
+	origin, image, err := ReadIHex(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if origin != p.Origin {
+		t.Fatalf("origin %#04x, want %#04x", origin, p.Origin)
+	}
+	if !bytes.Equal(image, p.Bytes) {
+		t.Fatalf("image differs: %d vs %d bytes", len(image), len(p.Bytes))
+	}
+}
+
+func TestIHexRoundTripProperty(t *testing.T) {
+	f := func(data []byte, origin uint16) bool {
+		if len(data) == 0 {
+			data = []byte{0}
+		}
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		if int(origin)+len(data) > 65536 {
+			origin = uint16(65536 - len(data))
+		}
+		p := &Program{Origin: origin, Bytes: data}
+		var b bytes.Buffer
+		if err := p.WriteIHex(&b); err != nil {
+			return false
+		}
+		o2, d2, err := ReadIHex(&b)
+		return err == nil && o2 == origin && bytes.Equal(d2, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIHexRejectsCorruption(t *testing.T) {
+	p := MustAssemble(`
+        .org 0xF000
+start:  nop
+        jmp $
+        .org 0xFFFE
+        .word start
+`)
+	var b bytes.Buffer
+	if err := p.WriteIHex(&b); err != nil {
+		t.Fatal(err)
+	}
+	good := b.String()
+	cases := map[string]string{
+		"checksum":  strings.Replace(good, good[9:11], "00", 1),
+		"prefix":    strings.TrimPrefix(good, ":"),
+		"truncated": good[:12] + "\n:00000001FF\n",
+		"no-eof":    strings.Replace(good, ":00000001FF", "", 1),
+	}
+	for name, src := range cases {
+		if _, _, err := ReadIHex(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: corruption accepted", name)
+		}
+	}
+}

@@ -1,0 +1,378 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"bespoke/internal/msp430"
+)
+
+// opTable maps mnemonics to core opcodes.
+var opTable = map[string]msp430.Op{
+	"mov": msp430.MOV, "add": msp430.ADD, "addc": msp430.ADDC,
+	"subc": msp430.SUBC, "sub": msp430.SUB, "cmp": msp430.CMP,
+	"dadd": msp430.DADD, "bit": msp430.BIT, "bic": msp430.BIC,
+	"bis": msp430.BIS, "xor": msp430.XOR, "and": msp430.AND,
+	"rrc": msp430.RRC, "swpb": msp430.SWPB, "rra": msp430.RRA,
+	"sxt": msp430.SXT, "push": msp430.PUSH, "call": msp430.CALL,
+	"reti": msp430.RETI,
+	"jne":  msp430.JNE, "jnz": msp430.JNE, "jeq": msp430.JEQ,
+	"jz": msp430.JEQ, "jnc": msp430.JNC, "jlo": msp430.JNC,
+	"jc": msp430.JC, "jhs": msp430.JC, "jn": msp430.JN,
+	"jge": msp430.JGE, "jl": msp430.JL, "jmp": msp430.JMP,
+}
+
+func (a *assembler) stmt(s stmt) error {
+	switch s.mnem {
+	case ".org":
+		if len(s.args) != 1 {
+			return a.errf(s, ".org needs one argument")
+		}
+		v, fw, err := a.eval(s, s.args[0])
+		if err != nil {
+			return err
+		}
+		if fw {
+			return a.errf(s, ".org argument must be known")
+		}
+		a.pc = v
+		return nil
+
+	case ".equ", ".set":
+		if len(s.args) != 2 {
+			return a.errf(s, ".equ needs name, value")
+		}
+		v, fw, err := a.eval(s, s.args[1])
+		if err != nil {
+			return err
+		}
+		if fw && a.pass == 1 {
+			return a.errf(s, ".equ value must not be a forward reference")
+		}
+		if a.pass == 1 {
+			a.symbols[s.args[0]] = v
+		}
+		a.seen[s.args[0]] = true
+		return nil
+
+	case ".word":
+		for _, arg := range s.args {
+			v, _, err := a.eval(s, arg)
+			if err != nil {
+				return err
+			}
+			a.emitWord(v)
+		}
+		return nil
+
+	case ".byte":
+		for _, arg := range s.args {
+			v, _, err := a.eval(s, arg)
+			if err != nil {
+				return err
+			}
+			a.emitByte(byte(v))
+		}
+		return nil
+
+	case ".space":
+		if len(s.args) != 1 {
+			return a.errf(s, ".space needs a size")
+		}
+		v, fw, err := a.eval(s, s.args[0])
+		if err != nil {
+			return err
+		}
+		if fw {
+			return a.errf(s, ".space size must be known")
+		}
+		for i := uint16(0); i < v; i++ {
+			a.emitByte(0)
+		}
+		return nil
+	}
+
+	// Emulated instruction expansion.
+	if insts, ok, err := a.emulated(s); err != nil {
+		return err
+	} else if ok {
+		for _, in := range insts {
+			if err := a.emitInst(s, in); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	op, ok := opTable[s.mnem]
+	if !ok {
+		return a.errf(s, "unknown mnemonic %q", s.mnem)
+	}
+
+	switch {
+	case op.IsJump():
+		if len(s.args) != 1 {
+			return a.errf(s, "%s needs a target", s.mnem)
+		}
+		target, _, err := a.eval(s, s.args[0])
+		if err != nil {
+			return err
+		}
+		in := msp430.Inst{Op: op}
+		if a.pass == 2 {
+			diff := int32(target) - int32(a.pc) - 2
+			if diff%2 != 0 {
+				return a.errf(s, "odd jump distance")
+			}
+			off := diff / 2
+			if off < -512 || off > 511 {
+				return a.errf(s, "jump target out of range (%d words)", off)
+			}
+			in.Offset = int16(off)
+		}
+		return a.emitInst(s, in)
+
+	case op == msp430.RETI:
+		return a.emitInst(s, msp430.Inst{Op: msp430.RETI})
+
+	case op.IsFormatII():
+		if len(s.args) != 1 {
+			return a.errf(s, "%s needs one operand", s.mnem)
+		}
+		src, err := a.operand(s, s.args[0])
+		if err != nil {
+			return err
+		}
+		return a.emitInst(s, msp430.Inst{Op: op, Byte: s.byteOp, Src: src})
+
+	default:
+		if len(s.args) != 2 {
+			return a.errf(s, "%s needs two operands", s.mnem)
+		}
+		src, err := a.operand(s, s.args[0])
+		if err != nil {
+			return err
+		}
+		dst, err := a.operand(s, s.args[1])
+		if err != nil {
+			return err
+		}
+		switch dst.Mode {
+		case msp430.ModeReg, msp430.ModeIndexed, msp430.ModeAbsolute:
+		default:
+			return a.errf(s, "invalid destination mode %v", dst.Mode)
+		}
+		return a.emitInst(s, msp430.Inst{Op: op, Byte: s.byteOp, Src: src, Dst: dst})
+	}
+}
+
+// emulated expands MSP430 emulated mnemonics into core instructions.
+func (a *assembler) emulated(s stmt) ([]msp430.Inst, bool, error) {
+	one := func(in msp430.Inst) ([]msp430.Inst, bool, error) {
+		in.Byte = s.byteOp
+		return []msp430.Inst{in}, true, nil
+	}
+	needOne := func() (msp430.Operand, error) {
+		if len(s.args) != 1 {
+			return msp430.Operand{}, a.errf(s, "%s needs one operand", s.mnem)
+		}
+		return a.operand(s, s.args[0])
+	}
+	switch s.mnem {
+	case "nop":
+		return one(msp430.Inst{Op: msp430.MOV, Src: msp430.RegOp(msp430.CG), Dst: msp430.RegOp(msp430.CG)})
+	case "ret":
+		return one(msp430.Inst{Op: msp430.MOV, Src: msp430.IndInc(msp430.SP), Dst: msp430.RegOp(msp430.PC)})
+	case "pop":
+		dst, err := needOne()
+		if err != nil {
+			return nil, false, err
+		}
+		return one(msp430.Inst{Op: msp430.MOV, Src: msp430.IndInc(msp430.SP), Dst: dst})
+	case "br":
+		src, err := needOne()
+		if err != nil {
+			return nil, false, err
+		}
+		return one(msp430.Inst{Op: msp430.MOV, Src: src, Dst: msp430.RegOp(msp430.PC)})
+	case "clr":
+		dst, err := needOne()
+		if err != nil {
+			return nil, false, err
+		}
+		return one(msp430.Inst{Op: msp430.MOV, Src: msp430.Imm(0), Dst: dst})
+	case "clrc":
+		return one(msp430.Inst{Op: msp430.BIC, Src: msp430.Imm(1), Dst: msp430.RegOp(msp430.SR)})
+	case "setc":
+		return one(msp430.Inst{Op: msp430.BIS, Src: msp430.Imm(1), Dst: msp430.RegOp(msp430.SR)})
+	case "clrz":
+		return one(msp430.Inst{Op: msp430.BIC, Src: msp430.Imm(2), Dst: msp430.RegOp(msp430.SR)})
+	case "setz":
+		return one(msp430.Inst{Op: msp430.BIS, Src: msp430.Imm(2), Dst: msp430.RegOp(msp430.SR)})
+	case "clrn":
+		return one(msp430.Inst{Op: msp430.BIC, Src: msp430.Imm(4), Dst: msp430.RegOp(msp430.SR)})
+	case "setn":
+		return one(msp430.Inst{Op: msp430.BIS, Src: msp430.Imm(4), Dst: msp430.RegOp(msp430.SR)})
+	case "dint":
+		return one(msp430.Inst{Op: msp430.BIC, Src: msp430.Imm(8), Dst: msp430.RegOp(msp430.SR)})
+	case "eint":
+		return one(msp430.Inst{Op: msp430.BIS, Src: msp430.Imm(8), Dst: msp430.RegOp(msp430.SR)})
+	case "inc":
+		dst, err := needOne()
+		if err != nil {
+			return nil, false, err
+		}
+		return one(msp430.Inst{Op: msp430.ADD, Src: msp430.Imm(1), Dst: dst})
+	case "incd":
+		dst, err := needOne()
+		if err != nil {
+			return nil, false, err
+		}
+		return one(msp430.Inst{Op: msp430.ADD, Src: msp430.Imm(2), Dst: dst})
+	case "dec":
+		dst, err := needOne()
+		if err != nil {
+			return nil, false, err
+		}
+		return one(msp430.Inst{Op: msp430.SUB, Src: msp430.Imm(1), Dst: dst})
+	case "decd":
+		dst, err := needOne()
+		if err != nil {
+			return nil, false, err
+		}
+		return one(msp430.Inst{Op: msp430.SUB, Src: msp430.Imm(2), Dst: dst})
+	case "inv":
+		dst, err := needOne()
+		if err != nil {
+			return nil, false, err
+		}
+		return one(msp430.Inst{Op: msp430.XOR, Src: msp430.Imm(0xFFFF), Dst: dst})
+	case "tst":
+		dst, err := needOne()
+		if err != nil {
+			return nil, false, err
+		}
+		return one(msp430.Inst{Op: msp430.CMP, Src: msp430.Imm(0), Dst: dst})
+	case "adc":
+		dst, err := needOne()
+		if err != nil {
+			return nil, false, err
+		}
+		return one(msp430.Inst{Op: msp430.ADDC, Src: msp430.Imm(0), Dst: dst})
+	case "sbc":
+		dst, err := needOne()
+		if err != nil {
+			return nil, false, err
+		}
+		return one(msp430.Inst{Op: msp430.SUBC, Src: msp430.Imm(0), Dst: dst})
+	case "rla":
+		dst, err := needOne()
+		if err != nil {
+			return nil, false, err
+		}
+		if dst.Mode != msp430.ModeReg {
+			return nil, false, a.errf(s, "rla supports register operands only")
+		}
+		return one(msp430.Inst{Op: msp430.ADD, Src: dst, Dst: dst})
+	case "rlc":
+		dst, err := needOne()
+		if err != nil {
+			return nil, false, err
+		}
+		if dst.Mode != msp430.ModeReg {
+			return nil, false, a.errf(s, "rlc supports register operands only")
+		}
+		return one(msp430.Inst{Op: msp430.ADDC, Src: dst, Dst: dst})
+	}
+	return nil, false, nil
+}
+
+// operand parses one operand string.
+func (a *assembler) operand(s stmt, text string) (msp430.Operand, error) {
+	text = strings.TrimSpace(text)
+	if text == "" {
+		return msp430.Operand{}, a.errf(s, "empty operand")
+	}
+	if r, ok := parseReg(text); ok {
+		return msp430.RegOp(r), nil
+	}
+	switch text[0] {
+	case '#':
+		v, fw, err := a.eval(s, text[1:])
+		if err != nil {
+			return msp430.Operand{}, err
+		}
+		op := msp430.Imm(v)
+		op.NoCG = fw // stable size across passes
+		return op, nil
+	case '&':
+		v, _, err := a.eval(s, text[1:])
+		if err != nil {
+			return msp430.Operand{}, err
+		}
+		return msp430.Abs(v), nil
+	case '@':
+		rest := text[1:]
+		inc := strings.HasSuffix(rest, "+")
+		rest = strings.TrimSuffix(rest, "+")
+		r, ok := parseReg(rest)
+		if !ok {
+			return msp430.Operand{}, a.errf(s, "bad indirect operand %q", text)
+		}
+		if inc {
+			return msp430.IndInc(r), nil
+		}
+		return msp430.Ind(r), nil
+	}
+	// indexed: expr(rN)
+	if strings.HasSuffix(text, ")") {
+		if i := strings.LastIndexByte(text, '('); i >= 0 {
+			r, ok := parseReg(text[i+1 : len(text)-1])
+			if !ok {
+				return msp430.Operand{}, a.errf(s, "bad index register in %q", text)
+			}
+			v, _, err := a.eval(s, text[:i])
+			if err != nil {
+				return msp430.Operand{}, err
+			}
+			return msp430.Idx(v, r), nil
+		}
+	}
+	// bare expression: lower to absolute addressing
+	v, _, err := a.eval(s, text)
+	if err != nil {
+		return msp430.Operand{}, err
+	}
+	return msp430.Abs(v), nil
+}
+
+func parseReg(s string) (uint8, bool) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if r, ok := regAliases[s]; ok {
+		return r, true
+	}
+	if strings.HasPrefix(s, "r") {
+		var n int
+		if _, err := fmt.Sscanf(s, "r%d", &n); err == nil && n >= 0 && n <= 15 && fmt.Sprintf("r%d", n) == s {
+			return uint8(n), true
+		}
+	}
+	return 0, false
+}
+
+func (a *assembler) emitInst(s stmt, in msp430.Inst) error {
+	words, err := msp430.Encode(in)
+	if err != nil {
+		return a.errf(s, "%v", err)
+	}
+	addr := a.pc
+	if a.pass == 2 {
+		a.prog.LineOf[addr] = s.line
+		a.prog.InstAddrs = append(a.prog.InstAddrs, addr)
+		a.prog.Insts[addr] = in
+	}
+	for _, w := range words {
+		a.emitWord(w)
+	}
+	return nil
+}

@@ -1,0 +1,199 @@
+package bench
+
+import "bespoke/internal/core"
+
+// FFT computes an 8-point discrete Fourier transform of the input
+// samples with a fixed-point twiddle table and the signed hardware
+// multiplier. (The arithmetic profile of the EEMBC FFT kernel - table
+// lookups, signed MACs, nested loops - in direct-evaluation form.)
+func FFT() *Benchmark {
+	return &Benchmark{
+		Name: "FFT", Desc: "Fast Fourier transform", NumInputs: 8, MaxCycles: 500_000,
+		GenWorkload: func(seed uint64) *core.Workload {
+			return ramWords(seed, 8, func(_ int, v uint16) uint16 { return v & 0xFF })
+		},
+		Source: prologue + `
+        clr r14                 ; k*2
+kloop:  clr r10                 ; re accumulator
+        clr r11                 ; im accumulator
+        clr r15                 ; n*2
+        clr r13                 ; (k*n mod 8)*2
+nloop:  mov costab(r13), &MPYS
+        mov INBUF(r15), &OP2
+        add &RESLO, r10
+        mov sintab(r13), &MPYS
+        mov INBUF(r15), &OP2
+        sub &RESLO, r11
+        add r14, r13            ; angle index += k
+        and #14, r13            ; mod 8 (scaled by 2)
+        incd r15
+        cmp #16, r15
+        jne nloop
+        mov r10, &OUTPORT
+        mov r11, &OUTPORT
+        incd r14
+        cmp #16, r14
+        jne kloop
+        jmp done
+costab: .word 64, 45, 0, -45, -64, -45, 0, 45
+sintab: .word 0, 45, 64, 45, 0, -45, -64, -45
+` + epilogue,
+	}
+}
+
+// Viterbi decodes 8 received symbols of a rate-1/2, K=3 convolutional
+// code with a 4-state add-compare-select trellis.
+func Viterbi() *Benchmark {
+	return &Benchmark{
+		Name: "Viterbi", Desc: "Viterbi decoder", NumInputs: 8, MaxCycles: 500_000,
+		GenWorkload: func(seed uint64) *core.Workload {
+			return ramWords(seed, 8, func(_ int, v uint16) uint16 { return v & 3 })
+		},
+		Source: prologue + `
+        .equ PM, 0x0A00
+        .equ NPM, 0x0A10
+        clr &PM                 ; start in state 0
+        mov #99, &PM+2
+        mov #99, &PM+4
+        mov #99, &PM+6
+        clr r15                 ; symbol index *2
+symloop:
+        mov INBUF(r15), r14     ; received symbol
+        and #3, r14
+        rla r14                 ; scale for table indexing
+        mov #999, &NPM
+        mov #999, &NPM+2
+        mov #999, &NPM+4
+        mov #999, &NPM+6
+        clr r13                 ; transition *2
+tloop:  mov trexp(r13), r12     ; expected symbol (scaled)
+        xor r14, r12            ; (exp ^ rx) scaled
+        mov hdtab(r12), r11     ; branch metric
+        mov trsrc(r13), r12
+        add PM(r12), r11        ; candidate = pm[src] + metric
+        mov trdst(r13), r12
+        ; Branchless compare-select, the usual DSP idiom:
+        ; npm[dst] = min(npm[dst], cand).
+        mov NPM(r12), r10
+        cmp r11, r10            ; npm - cand: C = (npm >= cand)
+        subc r9, r9             ; r9 = 0 if C else 0xFFFF (keep npm)
+        and r9, r10             ; npm & keepmask
+        inv r9
+        and r11, r9             ; cand & takemask
+        bis r9, r10
+        mov r10, NPM(r12)
+tskip:  incd r13
+        cmp #16, r13
+        jne tloop
+        mov &NPM, &PM           ; pm = npm
+        mov &NPM+2, &PM+2
+        mov &NPM+4, &PM+4
+        mov &NPM+6, &PM+6
+        incd r15
+        cmp #16, r15
+        jne symloop
+        ; survivor: minimum path metric and its state (branchless)
+        mov &PM, r11
+        clr r12
+        mov #2, r13
+minl:   mov PM(r13), r10
+        cmp r10, r11            ; r11 - pm[i]: C = (cur <= pm[i])... C = cur >= pm[i]
+        subc r9, r9             ; r9 = 0 if cur >= pm[i] (take pm[i]) else 0xFFFF
+        ; select metric
+        mov r9, r8
+        and r11, r8             ; keep cur when r9 = 0xFFFF
+        mov r9, r7
+        inv r7
+        and r10, r7             ; take pm[i] when r9 = 0
+        bis r7, r8
+        mov r8, r11
+        ; select argmin likewise
+        mov r9, r8
+        and r12, r8
+        mov r9, r7
+        inv r7
+        and r13, r7
+        bis r7, r8
+        mov r8, r12
+        incd r13
+        cmp #8, r13
+        jne minl
+        mov r11, &OUTPORT
+        rra r12                 ; state index
+        mov r12, &OUTPORT
+        jmp done
+trexp:  .word 0, 6, 6, 0, 4, 2, 2, 4   ; expected symbols *2
+trsrc:  .word 0, 0, 2, 2, 4, 4, 6, 6   ; source state offsets
+trdst:  .word 0, 4, 0, 4, 2, 6, 2, 6   ; destination state offsets
+hdtab:  .word 0, 1, 1, 2               ; hamming distance of 2-bit xor
+` + epilogue,
+	}
+}
+
+// ConvEn is a K=3, rate-1/2 convolutional encoder over 16 input bits.
+func ConvEn() *Benchmark {
+	return &Benchmark{
+		Name: "convEn", Desc: "Convolutional encoder", NumInputs: 1, MaxCycles: 100_000,
+		GenWorkload: func(seed uint64) *core.Workload { return ramWords(seed, 1, nil) },
+		Source: prologue + `
+        mov INBUF, r4           ; data bits, MSB first
+        clr r5                  ; encoder state (2 bits)
+        mov #16, r6
+celoop: clr r7
+        rla r4                  ; MSB -> C
+        adc r7                  ; r7 = input bit
+        mov r5, r8
+        and #1, r8              ; s0
+        mov r5, r9
+        rra r9
+        and #1, r9              ; s1
+        mov r7, r10
+        xor r9, r10
+        xor r8, r10             ; g0 = b ^ s1 ^ s0
+        mov r7, r11
+        xor r8, r11             ; g1 = b ^ s0
+        rla r10
+        bis r11, r10            ; 2-bit output symbol
+        mov r10, &OUTPORT
+        rla r7                  ; next state = (b<<1) | s1
+        bis r9, r7
+        mov r7, r5
+        dec r6
+        jnz celoop
+` + epilogue,
+	}
+}
+
+// Autocorr computes the autocorrelation of 16 samples at lags 0-3 with
+// the multiply-accumulate unit.
+func Autocorr() *Benchmark {
+	return &Benchmark{
+		Name: "autocorr", Desc: "Autocorrelation", NumInputs: 16, MaxCycles: 300_000,
+		GenWorkload: func(seed uint64) *core.Workload {
+			return ramWords(seed, 16, func(_ int, v uint16) uint16 { return v & 0xFF })
+		},
+		Source: prologue + `
+        clr r14                 ; lag*2
+lagloop:
+        mov #11, r13            ; 12 products per lag
+        clr r15                 ; n*2
+        mov r15, r12
+        add r14, r12
+        mov INBUF(r15), &MPY    ; first product resets the accumulator
+        mov INBUF(r12), &OP2
+        incd r15
+acl:    mov r15, r12
+        add r14, r12
+        mov INBUF(r15), &MAC
+        mov INBUF(r12), &OP2
+        incd r15
+        dec r13
+        jnz acl
+        mov &RESLO, &OUTPORT
+        mov &RESHI, &OUTPORT
+        incd r14
+        cmp #8, r14
+        jne lagloop
+` + epilogue,
+	}
+}

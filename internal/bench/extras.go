@@ -1,0 +1,73 @@
+package bench
+
+import "bespoke/internal/core"
+
+// Extras returns benchmarks beyond the paper's Table 1 suite, used to
+// demonstrate that the flow generalizes to new workloads. They are not
+// part of All() so the reproduced experiments keep the paper's suite.
+func Extras() []*Benchmark {
+	return []*Benchmark{CRC16(), MatMul()}
+}
+
+// CRC16 computes the CRC-16/CCITT of 8 input bytes, bit-serial - a
+// byte-op and shift heavy kernel common in sensor firmware.
+func CRC16() *Benchmark {
+	return &Benchmark{
+		Name: "crc16", Desc: "CRC-16/CCITT (bit-serial)", NumInputs: 4, MaxCycles: 200_000,
+		GenWorkload: func(seed uint64) *core.Workload { return ramWords(seed, 4, nil) },
+		Source: prologue + `
+        mov #0xFFFF, r5         ; crc
+        clr r6                  ; byte offset
+cbyte:  mov.b INBUF(r6), r7
+        swpb r7                 ; data byte into the high byte
+        xor r7, r5
+        mov #8, r8
+cbit:   rla r5                  ; msb -> C
+        jnc cnox
+        xor #0x1021, r5         ; polynomial
+cnox:   dec r8
+        jnz cbit
+        inc r6
+        cmp #8, r6
+        jne cbyte
+        mov r5, &OUTPORT
+` + epilogue,
+	}
+}
+
+// MatMul multiplies two 3x3 matrices of input words (low bytes) with the
+// hardware multiply-accumulate unit.
+func MatMul() *Benchmark {
+	return &Benchmark{
+		Name: "matmul", Desc: "3x3 matrix multiply (MAC)", NumInputs: 18, MaxCycles: 300_000,
+		GenWorkload: func(seed uint64) *core.Workload {
+			return ramWords(seed, 18, func(_ int, v uint16) uint16 { return v & 0xFF })
+		},
+		// A at INBUF, B at INBUF+18; C streamed to OUTPORT row-major.
+		Source: prologue + `
+        clr r4                  ; i*6 (row byte offset in A)
+iloop:  clr r5                  ; j*2 (col byte offset in B)
+jloop:  ; c = sum_k a[i][k]*b[k][j]
+        mov r4, r6              ; &A[i][0] offset
+        mov r5, r7
+        add #18, r7             ; &B[0][j] offset
+        mov INBUF(r6), &MPY
+        mov INBUF(r7), &OP2
+        incd r6
+        add #6, r7
+        mov INBUF(r6), &MAC
+        mov INBUF(r7), &OP2
+        incd r6
+        add #6, r7
+        mov INBUF(r6), &MAC
+        mov INBUF(r7), &OP2
+        mov &RESLO, &OUTPORT
+        incd r5
+        cmp #6, r5
+        jne jloop
+        add #6, r4
+        cmp #18, r4
+        jne iloop
+` + epilogue,
+	}
+}

@@ -1,0 +1,382 @@
+package bench
+
+import "bespoke/internal/core"
+
+// BinSearch is a binary search over a sorted 16-entry table in ROM; the
+// key is input word 0. Output: (index, 1) on hit, (0xFFFF, 0) on miss.
+func BinSearch() *Benchmark {
+	return &Benchmark{
+		Name: "binSearch", Desc: "Binary search", NumInputs: 1, MaxCycles: 50_000,
+		GenWorkload: func(seed uint64) *core.Workload {
+			return ramWords(seed, 1, func(int, uint16) uint16 {
+				r := rng(seed * 7)
+				return uint16(r.next() % 256)
+			})
+		},
+		Source: prologue + `
+        mov INBUF, r12          ; key
+        clr r4                  ; lo
+        mov #16, r5             ; hi (exclusive)
+bloop:  cmp r5, r4
+        jge miss                ; lo >= hi
+        mov r4, r6
+        add r5, r6
+        rra r6                  ; mid
+        mov r6, r7
+        rla r7                  ; byte offset
+        mov tab(r7), r8
+        cmp r12, r8             ; tab[mid] - key
+        jeq hit
+        jlo below
+        mov r6, r5              ; hi = mid
+        jmp bloop
+below:  mov r6, r4              ; lo = mid + 1
+        inc r4
+        jmp bloop
+hit:    mov r6, &OUTPORT
+        mov #1, &OUTPORT
+        jmp done
+miss:   mov #-1, &OUTPORT
+        clr &OUTPORT
+        jmp done
+tab:    .word 2, 5, 9, 14, 22, 31, 40, 53, 64, 77, 90, 105, 121, 150, 200, 250
+` + epilogue,
+	}
+}
+
+// Div is restoring 16/16 unsigned division; inputs: dividend, divisor
+// (forced nonzero, 8-bit). Output: quotient, remainder.
+func Div() *Benchmark {
+	return &Benchmark{
+		Name: "div", Desc: "Unsigned integer division", NumInputs: 2, MaxCycles: 50_000,
+		GenWorkload: func(seed uint64) *core.Workload {
+			return ramWords(seed, 2, func(i int, v uint16) uint16 {
+				if i == 1 {
+					return v&0xFF | 1 // nonzero 8-bit divisor
+				}
+				return v
+			})
+		},
+		Source: prologue + `
+        mov INBUF, r12          ; dividend
+        mov INBUF+2, r13        ; divisor
+        clr r14                 ; quotient
+        clr r15                 ; remainder
+        mov #16, r4
+dloop:  rla r12                 ; msb -> C
+        rlc r15                 ; remainder = remainder<<1 | msb
+        rla r14                 ; quotient <<= 1
+        cmp r13, r15
+        jlo dskip
+        sub r13, r15
+        bis #1, r14
+dskip:  dec r4
+        jnz dloop
+        mov r14, &OUTPORT
+        mov r15, &OUTPORT
+` + epilogue,
+	}
+}
+
+// InSort is in-place insertion sort of 8 input words; outputs the sorted
+// array then its checksum.
+func InSort() *Benchmark {
+	return &Benchmark{
+		Name: "inSort", Desc: "In-place insertion sort", NumInputs: 8, MaxCycles: 100_000,
+		GenWorkload: func(seed uint64) *core.Workload { return ramWords(seed, 8, nil) },
+		Source: prologue + `
+        mov #2, r4              ; i (byte offset)
+outer:  cmp #16, r4
+        jge sdone
+        mov INBUF(r4), r6       ; key
+        mov r4, r7              ; j
+inner:  tst r7
+        jz place
+        mov r7, r8
+        decd r8
+        mov INBUF(r8), r9
+        cmp r6, r9              ; a[j-1] - key
+        jlo place
+        mov r9, INBUF(r7)
+        mov r8, r7
+        jmp inner
+place:  mov r6, INBUF(r7)
+        incd r4
+        jmp outer
+sdone:  clr r5
+        clr r4
+oloop:  mov INBUF(r4), r6
+        mov r6, &OUTPORT
+        add r6, r5
+        incd r4
+        cmp #16, r4
+        jne oloop
+        mov r5, &OUTPORT
+` + epilogue,
+	}
+}
+
+// IntAVG averages 16 input words (32-bit accumulate, then shift).
+func IntAVG() *Benchmark {
+	return &Benchmark{
+		Name: "intAVG", Desc: "Integer average", NumInputs: 16, MaxCycles: 50_000,
+		GenWorkload: func(seed uint64) *core.Workload { return ramWords(seed, 16, nil) },
+		Source: prologue + `
+        clr r5                  ; sum lo
+        clr r6                  ; sum hi
+        clr r4
+aloop:  add INBUF(r4), r5
+        adc r6
+        incd r4
+        cmp #32, r4
+        jne aloop
+        mov #4, r7              ; / 16
+shl:    clrc
+        rrc r6
+        rrc r5
+        dec r7
+        jnz shl
+        mov r5, &OUTPORT
+` + epilogue,
+	}
+}
+
+// IntFilt is a 4-tap FIR filter with small fixed coefficients (5, 10,
+// 10, 5) over 16 input samples, using the hardware multiply-accumulate.
+// The coefficients constrain the multiplier's first operand to 4 bits,
+// so most of the array's partial-product rows can never toggle - the
+// paper's flagship example of binary-imposed datapath constraints.
+func IntFilt() *Benchmark {
+	return &Benchmark{
+		Name: "intFilt", Desc: "4-tap FIR filter", NumInputs: 16, MaxCycles: 200_000,
+		GenWorkload: func(seed uint64) *core.Workload {
+			return ramWords(seed, 16, func(_ int, v uint16) uint16 { return v & 0x0FFF })
+		},
+		Source: prologue + `
+        clr r4
+floop:  mov #5, &MPY            ; coefficient stream: 5,10,10,5
+        mov INBUF(r4), &OP2
+        mov #10, &MAC
+        mov INBUF+2(r4), &OP2
+        mov #10, &MAC
+        mov INBUF+4(r4), &OP2
+        mov #5, &MAC
+        mov INBUF+6(r4), &OP2
+        mov &RESLO, &OUTPORT
+        incd r4
+        cmp #26, r4             ; 13 output samples
+        jne floop
+` + epilogue,
+	}
+}
+
+// ScrambledIntFilt is the Figure 4 synthetic benchmark: the same
+// instruction types and control flow as intFilt with the
+// coefficient/tap pairing, the accumulation order, and the register
+// allocation scrambled. The architecturally visible behavior class is
+// identical; the exercised gates are not (different register-file rows,
+// different operand sequencing).
+func ScrambledIntFilt() *Benchmark {
+	return &Benchmark{
+		Name: "scrambled-intFilt", Desc: "intFilt with scrambled instruction order",
+		NumInputs: 16, MaxCycles: 200_000,
+		GenWorkload: func(seed uint64) *core.Workload {
+			return ramWords(seed, 16, func(_ int, v uint16) uint16 { return v & 0x0FFF })
+		},
+		Source: prologue + `
+        clr r9                  ; scrambled register allocation
+floop:  mov #10, &MPY           ; scrambled coefficient stream: 10,5,5,10
+        mov INBUF+2(r9), &OP2
+        mov #5, &MAC
+        mov INBUF(r9), &OP2
+        mov #10, &MAC
+        mov INBUF+6(r9), &OP2
+        mov #5, &MAC
+        mov INBUF+4(r9), &OP2
+        mov &RESLO, &OUTPORT
+        incd r9
+        cmp #26, r9
+        jne floop
+` + epilogue,
+	}
+}
+
+// Mult exercises the hardware multiplier fully: 8 pairs of unconstrained
+// operands through both unsigned and signed multiplies.
+func Mult() *Benchmark {
+	return &Benchmark{
+		Name: "mult", Desc: "Unsigned/signed multiplication", NumInputs: 16, MaxCycles: 100_000,
+		GenWorkload: func(seed uint64) *core.Workload { return ramWords(seed, 16, nil) },
+		Source: prologue + `
+        clr r4
+mloop:  mov INBUF(r4), &MPY
+        mov INBUF+16(r4), &OP2
+        mov &RESLO, &OUTPORT
+        mov &RESHI, &OUTPORT
+        mov INBUF(r4), &MPYS
+        mov INBUF+16(r4), &OP2
+        mov &RESLO, &OUTPORT
+        mov &SUMEXT, &OUTPORT
+        incd r4
+        cmp #16, r4
+        jne mloop
+` + epilogue,
+	}
+}
+
+// RLE run-length encodes 16 low-entropy bytes into (value, count) pairs.
+func RLE() *Benchmark {
+	return &Benchmark{
+		Name: "rle", Desc: "Run-length encoder", NumInputs: 16, MaxCycles: 100_000,
+		GenWorkload: func(seed uint64) *core.Workload {
+			return ramWords(seed, 16, func(_ int, v uint16) uint16 { return v & 3 })
+		},
+		Source: prologue + `
+        mov.b INBUF, r6         ; current value
+        mov #1, r7              ; run length
+        mov #2, r4
+rloop:  cmp #32, r4
+        jge rdone
+        mov.b INBUF(r4), r8
+        cmp.b r6, r8
+        jne remit
+        inc r7
+        jmp rnext
+remit:  mov r6, &OUTPORT
+        mov r7, &OUTPORT
+        mov r8, r6
+        mov #1, r7
+rnext:  incd r4
+        jmp rloop
+rdone:  mov r6, &OUTPORT
+        mov r7, &OUTPORT
+` + epilogue,
+	}
+}
+
+// THold is a digital threshold detector polling the P1 sensor port; it
+// also programs the clock-module divider, making it the one benchmark
+// that exercises clock_module gates (as in the paper's Figure 10
+// discussion).
+func THold() *Benchmark {
+	return &Benchmark{
+		Name: "tHold", Desc: "Digital threshold detector", NumInputs: 0, MaxCycles: 200_000,
+		GenWorkload: func(seed uint64) *core.Workload {
+			r := rng(seed)
+			w := &core.Workload{}
+			for c := uint64(0); c < 4000; c += 97 {
+				w.P1 = append(w.P1, core.P1Step{At: c, Value: uint16(r.next() % 200)})
+			}
+			return w
+		},
+		Source: prologue + `
+        mov #1, &BCSCTL         ; divide MCLK by 2 while sampling
+        mov #100, r10           ; threshold
+        clr r11                 ; hits
+        mov #32, r12            ; samples
+tloop:  mov &P1IN, r4
+        cmp r10, r4
+        jlo tskip
+        inc r11
+tskip:  dec r12
+        jnz tloop
+        clr &BCSCTL
+        mov r11, &OUTPORT
+` + epilogue,
+	}
+}
+
+// Tea8 runs 8 rounds of the TEA block cipher (32-bit arithmetic composed
+// from 16-bit adds with carry) on a 2-word block with a fixed key.
+func Tea8() *Benchmark {
+	return &Benchmark{
+		Name: "tea8", Desc: "TEA encryption (8 rounds)", NumInputs: 4, MaxCycles: 200_000,
+		GenWorkload: func(seed uint64) *core.Workload { return ramWords(seed, 4, nil) },
+		// v0 in r4:r5 (lo:hi), v1 in r6:r7, sum in r8:r9.
+		// Round: v0 += ((v1<<4) + K0) ^ (v1 + sum) ^ ((v1>>5) + K1)
+		//        v1 += ((v0<<4) + K2) ^ (v0 + sum) ^ ((v0>>5) + K3)
+		// 32-bit ops via helper subroutines keeps the code honest about
+		// call/return and stack usage.
+		Source: prologue + `
+        .equ DELTA_LO, 0x79B9
+        .equ DELTA_HI, 0x9E37
+        mov INBUF, r4
+        mov INBUF+2, r5
+        mov INBUF+4, r6
+        mov INBUF+6, r7
+        clr r8
+        clr r9
+        mov #8, r15             ; rounds
+round:  add #DELTA_LO, r8       ; sum += delta
+        addc #DELTA_HI, r9
+        ; t = (v1<<4) + K0 ; t ^= v1 + sum ; t ^= (v1>>5) + K1 ; v0 += t
+        mov r6, r10
+        mov r7, r11
+        call #shl4
+        add #0x1234, r10        ; K0
+        addc #0x0005, r11
+        mov r6, r12
+        mov r7, r13
+        add r8, r12
+        addc r9, r13
+        xor r12, r10
+        xor r13, r11
+        mov r6, r12
+        mov r7, r13
+        call #shr5
+        add #0x4567, r12        ; K1
+        addc #0x00A9, r13
+        xor r12, r10
+        xor r13, r11
+        add r10, r4             ; v0 += t
+        addc r11, r5
+        ; t = (v0<<4) + K2 ; t ^= v0 + sum ; t ^= (v0>>5) + K3 ; v1 += t
+        mov r4, r10
+        mov r5, r11
+        call #shl4
+        add #0x89AB, r10        ; K2
+        addc #0x000C, r11
+        mov r4, r12
+        mov r5, r13
+        add r8, r12
+        addc r9, r13
+        xor r12, r10
+        xor r13, r11
+        mov r4, r12
+        mov r5, r13
+        call #shr5
+        add #0xCDEF, r12        ; K3
+        addc #0x0010, r13
+        xor r12, r10
+        xor r13, r11
+        add r10, r6             ; v1 += t
+        addc r11, r7
+        dec r15
+        jnz round
+        mov r4, &OUTPORT
+        mov r5, &OUTPORT
+        mov r6, &OUTPORT
+        mov r7, &OUTPORT
+        jmp done
+
+shl4:   push r15                ; 32-bit left shift by 4 of r10:r11
+        mov #4, r15
+shl4l:  rla r10
+        rlc r11
+        dec r15
+        jnz shl4l
+        pop r15
+        ret
+
+shr5:   push r15                ; 32-bit right shift by 5 of r12:r13
+        mov #5, r15
+shr5l:  clrc
+        rrc r13
+        rrc r12
+        dec r15
+        jnz shr5l
+        pop r15
+        ret
+` + epilogue,
+	}
+}

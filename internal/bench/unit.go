@@ -1,0 +1,145 @@
+package bench
+
+import "bespoke/internal/core"
+
+// IRQ is the interrupt unit test: all three external lines enabled, a
+// handler per line, spin until three events arrive.
+func IRQ() *Benchmark {
+	return &Benchmark{
+		Name: "irq", Desc: "Interrupt test", NumInputs: 0, MaxCycles: 100_000,
+		GenWorkload: func(seed uint64) *core.Workload {
+			w := &core.Workload{}
+			order := []int{0, 1, 2}
+			if seed%2 == 1 {
+				order = []int{2, 0, 1}
+			}
+			at := uint64(100 + seed%17)
+			for _, line := range order {
+				w.IRQ = append(w.IRQ,
+					core.IRQStep{At: at, Line: line, Level: true},
+					core.IRQStep{At: at + 40, Line: line, Level: false},
+				)
+				at += 200
+			}
+			return w
+		},
+		Source: prologue + `
+        clr r4                  ; event count
+        clr r5                  ; line mask
+        mov #7, &IE1            ; enable lines 0-2
+        eint
+wait:   cmp #3, r4
+        jne wait
+        dint
+        mov r4, &OUTPORT
+        mov r5, &OUTPORT
+        jmp done
+isr0:   inc r4
+        bis #1, r5
+        reti
+isr1:   inc r4
+        bis #2, r5
+        reti
+isr2:   inc r4
+        bis #4, r5
+        reti
+` + epilogue + `
+        .org 0xFFF6
+        .word isr0, isr1, isr2
+`,
+	}
+}
+
+// Dbg is the debug-interface unit test: breakpoint and step counters,
+// scratch register file.
+func Dbg() *Benchmark {
+	return &Benchmark{
+		Name: "dbg", Desc: "Debug interface", NumInputs: 0, MaxCycles: 100_000,
+		Source: prologue + `
+        mov #trg, &DBGDATA
+        mov #3, &DBGCTL         ; enable + breakpoint
+        clr r4
+dloop:
+trg:    inc r4
+        cmp #5, r4
+        jne dloop
+        mov &DBGHITS, &OUTPORT
+        mov &DBGSTEPS, &OUTPORT
+        clr &DBGCTL
+        mov #0x1111, &DBGCTL+8
+        mov #0x2222, &DBGCTL+10
+        mov #0x3333, &DBGCTL+12
+        mov #0x4444, &DBGCTL+14
+        mov &DBGCTL+8, r5
+        add &DBGCTL+10, r5
+        add &DBGCTL+12, r5
+        add &DBGCTL+14, r5
+        mov r5, &OUTPORT
+` + epilogue,
+	}
+}
+
+// SubnegBase is the RAM address of the subneg interpreter's program.
+const SubnegBase = 0x0A00
+
+// Subneg is the Turing-complete characterization binary of Section 5.3:
+// a one-instruction (subtract-and-branch-if-negative) interpreter whose
+// program lives in RAM. During symbolic analysis the RAM program is
+// unknown, so co-analyzing this binary with a target application yields
+// a bespoke processor that can execute arbitrary in-field updates via
+// subneg programs.
+//
+// Update programs are sandboxed to data RAM: operand and branch
+// addresses are masked into the RAM window (still Turing-complete), and
+// every subneg result is mirrored to the output port. Without the
+// sandbox an unknown store address aliases every peripheral register and
+// the co-analysis must retain nearly the whole processor.
+func Subneg() *Benchmark {
+	return &Benchmark{
+		Name: "subneg", Desc: "Turing-complete subneg interpreter", NumInputs: 0, MaxCycles: 200_000,
+		GenWorkload: func(seed uint64) *core.Workload {
+			// A subneg program: B -= M[a] twice (B starts at 0), then
+			// halt. Triples are (a, b, c); a == 0xFFFF halts.
+			r := rng(seed)
+			v1, v2 := uint16(r.next()%1000), uint16(r.next()%1000)
+			const data = SubnegBase + 0x40
+			const b1, b2 = SubnegBase + 0x50, SubnegBase + 0x52
+			ram := map[uint16]uint16{
+				data: v1, data + 2: v2,
+				b1: 0, b2: 0,
+			}
+			prog := []uint16{
+				data, b1, SubnegBase + 6, // M[b1] -= v1, fall through either way
+				data + 2, b2, SubnegBase + 12, // M[b2] -= v2
+				0xFFFF, 0, 0, // halt
+			}
+			for i, w := range prog {
+				ram[SubnegBase+uint16(2*i)] = w
+			}
+			return &core.Workload{RAM: ram}
+		},
+		Source: prologue + `
+        mov #0x0A00, r4         ; subneg instruction pointer
+sloop:  mov @r4+, r10           ; a
+        cmp #-1, r10            ; sentinel: halt
+        jeq done
+        and #0x7FE, r10         ; sandbox operands into data RAM
+        bis #0x800, r10
+        mov @r4+, r11           ; b
+        and #0x7FE, r11
+        bis #0x800, r11
+        mov @r4+, r12           ; c
+        and #0x7FE, r12
+        bis #0x800, r12
+        mov @r10, r13           ; M[a]
+        mov @r11, r14           ; M[b]
+        sub r13, r14
+        mov r14, 0(r11)         ; M[b] -= M[a]
+        mov r14, &OUTPORT       ; observable result stream
+        jn staken
+        jmp sloop
+staken: mov r12, r4             ; branch
+        jmp sloop
+` + epilogue,
+	}
+}

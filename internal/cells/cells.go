@@ -1,0 +1,137 @@
+// Package cells models a 65nm-class standard cell library: per-cell area,
+// leakage, switching energy and delay, plus the supply-voltage scaling
+// laws used to turn timing slack into power savings.
+//
+// The paper characterizes designs in TSMC 65GP at 1.0 V / 100 MHz with
+// Synopsys/Cadence signoff. That library is proprietary, so the values
+// here are synthetic but on the scale of published 65nm numbers (gate
+// area of a NAND2 ~ 2 um^2, ~ns-scale logic depth at 1 V, nW-scale
+// leakage per cell). The bespoke flow only ever reports ratios between a
+// tailored design and its baseline, which these models preserve.
+package cells
+
+import (
+	"math"
+
+	"bespoke/internal/netlist"
+)
+
+// Params describes one cell archetype at the nominal corner.
+type Params struct {
+	// Area in square micrometres.
+	Area float64
+	// Leakage power in nanowatts at VNominal.
+	Leakage float64
+	// SwitchEnergy is internal + output switching energy per output
+	// toggle in femtojoules at VNominal (excluding wire load).
+	SwitchEnergy float64
+	// Delay is the pin-to-output propagation delay in picoseconds at
+	// VNominal under a nominal fanout-of-2 load.
+	Delay float64
+	// InputCap is the input pin capacitance in femtofarads, used by the
+	// wire/load model.
+	InputCap float64
+}
+
+// Library is a full cell library plus operating-point constants.
+type Library struct {
+	// ByKind maps every netlist gate kind to its cell parameters.
+	ByKind [netlist.NumKinds]Params
+	// VNominal is the characterization supply voltage in volts.
+	VNominal float64
+	// VThreshold is the effective device threshold voltage in volts.
+	VThreshold float64
+	// Alpha is the velocity-saturation exponent in the alpha-power
+	// delay model.
+	Alpha float64
+	// WireCapPerUm is routing capacitance per micrometre in fF.
+	WireCapPerUm float64
+	// WireDelayPerUm is routing delay per micrometre in ps (lumped).
+	WireDelayPerUm float64
+	// ClockBufEnergy is energy per clock buffer toggle, fJ.
+	ClockBufEnergy float64
+}
+
+// TSMC65 returns the synthetic 65GP-like library used throughout the
+// flow. Characterized at 1.0 V; see the package comment for provenance.
+func TSMC65() *Library {
+	l := &Library{
+		VNominal:       1.0,
+		VThreshold:     0.35,
+		Alpha:          1.6,
+		WireCapPerUm:   0.2,
+		WireDelayPerUm: 0.02,
+		ClockBufEnergy: 1.2,
+	}
+	set := func(k netlist.Kind, area, leak, energy, delay, cap float64) {
+		l.ByKind[k] = Params{Area: area, Leakage: leak, SwitchEnergy: energy, Delay: delay, InputCap: cap}
+	}
+	// kind           area  leak  energy delay  cap
+	set(netlist.Const0, 0, 0, 0, 0, 0)
+	set(netlist.Const1, 0, 0, 0, 0, 0)
+	set(netlist.Input, 0, 0, 0, 0, 1.0)
+	set(netlist.Buf, 1.4, 1.5, 0.8, 35, 1.2)
+	set(netlist.Not, 1.1, 1.2, 0.7, 22, 1.4)
+	set(netlist.And, 2.2, 2.4, 1.3, 48, 1.5)
+	set(netlist.Or, 2.2, 2.4, 1.3, 50, 1.5)
+	set(netlist.Nand, 1.8, 2.0, 1.1, 30, 1.6)
+	set(netlist.Nor, 1.8, 2.2, 1.1, 38, 1.6)
+	set(netlist.Xor, 3.2, 3.1, 2.0, 62, 2.0)
+	set(netlist.Xnor, 3.2, 3.1, 2.0, 62, 2.0)
+	set(netlist.Mux, 3.6, 3.3, 2.1, 55, 1.8)
+	set(netlist.Dff, 6.5, 6.0, 4.2, 120, 1.6)
+	return l
+}
+
+// DelayScale returns the factor by which all cell delays stretch when the
+// supply is lowered from VNominal to v, per the alpha-power law
+// d(V) ∝ V / (V - Vth)^alpha. It panics if v <= VThreshold.
+func (l *Library) DelayScale(v float64) float64 {
+	if v <= l.VThreshold {
+		panic("cells: supply at or below threshold")
+	}
+	num := v / math.Pow(v-l.VThreshold, l.Alpha)
+	den := l.VNominal / math.Pow(l.VNominal-l.VThreshold, l.Alpha)
+	return num / den
+}
+
+// DynScale returns the dynamic-power scale factor at supply v for a fixed
+// clock frequency: CV^2 f => (v/VNominal)^2.
+func (l *Library) DynScale(v float64) float64 {
+	r := v / l.VNominal
+	return r * r
+}
+
+// LeakScale returns the leakage-power scale factor at supply v. Leakage
+// current falls steeply with VDD via DIBL; we model I ∝ V^3 (power ∝ V^4
+// with the supply term), a common empirical fit in the super-threshold
+// region.
+func (l *Library) LeakScale(v float64) float64 {
+	r := v / l.VNominal
+	return r * r * r * r
+}
+
+// VminForSlack computes the lowest supply voltage at which a design whose
+// critical path uses fraction (1-slack) of the clock period still meets
+// timing, i.e. DelayScale(v) <= 1/(1-slack). A guard band fraction
+// (e.g. 0.05 for worst-case PVT) tightens the budget. The search is a
+// bisection over (VThreshold, VNominal]; resolution 1 mV.
+func (l *Library) VminForSlack(slack, guardBand float64) float64 {
+	if slack <= 0 {
+		return l.VNominal
+	}
+	budget := 1 / ((1 - slack) * (1 + guardBand))
+	if budget <= 1 {
+		return l.VNominal
+	}
+	lo, hi := l.VThreshold+0.01, l.VNominal
+	for hi-lo > 0.001 {
+		mid := (lo + hi) / 2
+		if l.DelayScale(mid) <= budget {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return math.Round(hi*100) / 100 // report at 10 mV granularity like the paper
+}

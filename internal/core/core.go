@@ -1,0 +1,355 @@
+// Package core is the bespoke-processor flow itself - the paper's primary
+// contribution as a library. Tailor takes a general purpose gate-level
+// microcontroller and an application binary and produces a bespoke design
+// containing only the gates the application can ever exercise:
+//
+//	analysis := input-independent gate activity analysis (symexec)
+//	cut      := remove untoggleable gates, stitch constants (cut)
+//	resynth  := fold constants, drop floating logic (synth)
+//	P&R      := place, extract wire parasitics (layout)
+//	signoff  := timing/Vmin (sta) and activity-based power (power)
+//
+// TailorMulti supports multiple target applications (the union of their
+// exercised gates), and TailorCoarse is the module-level baseline the
+// paper's Figure 12 compares against.
+package core
+
+import (
+	"fmt"
+
+	"bespoke/internal/asm"
+	"bespoke/internal/cells"
+	"bespoke/internal/cpu"
+	"bespoke/internal/cut"
+	"bespoke/internal/layout"
+	"bespoke/internal/logic"
+	"bespoke/internal/msp430"
+	"bespoke/internal/netlist"
+	"bespoke/internal/power"
+	"bespoke/internal/sta"
+	"bespoke/internal/symexec"
+	"bespoke/internal/synth"
+)
+
+// P1Step drives the P1 input port to Value at cycle At.
+type P1Step struct {
+	At    uint64
+	Value uint16
+}
+
+// IRQStep drives external interrupt line Line to Level at cycle At.
+type IRQStep struct {
+	At    uint64
+	Line  int
+	Level bool
+}
+
+// Workload is one representative concrete execution used for dynamic
+// power measurement and input-based verification.
+type Workload struct {
+	// RAM preloads words (byte address -> value) before release.
+	RAM map[uint16]uint16
+	// P1 and IRQ drive input pins at given cycles.
+	P1  []P1Step
+	IRQ []IRQStep
+	// MaxCycles bounds the run (default 2M).
+	MaxCycles uint64
+}
+
+// Options tunes the flow.
+type Options struct {
+	// Sym tunes the activity analysis.
+	Sym symexec.Options
+	// ClockPs overrides the clock period; 0 derives it from the
+	// baseline's critical path (the baseline just meets timing, like a
+	// design synthesized for its target frequency).
+	ClockPs float64
+	// Lib overrides the cell library.
+	Lib *cells.Library
+}
+
+// Metrics are the signoff numbers for one design point.
+type Metrics struct {
+	Gates  int
+	Dffs   int
+	Timing sta.Report
+	Power  power.Report
+}
+
+// Result is the outcome of tailoring.
+type Result struct {
+	Baseline Metrics
+	Bespoke  Metrics
+	// BespokeAtVmin is the bespoke design re-analyzed at the reduced
+	// supply that its exposed timing slack allows.
+	BespokeAtVmin power.Report
+
+	Analysis   *symexec.Result
+	CutStats   cut.Stats
+	SynthStats synth.Stats
+
+	// Headline ratios (fractions, 0..1).
+	GateSavings      float64
+	AreaSavings      float64
+	PowerSavings     float64
+	PowerSavingsVmin float64
+
+	// BespokeCore is the tailored design, still executable.
+	BespokeCore *cpu.Core
+	// BaselineCore is the untouched general purpose design.
+	BaselineCore *cpu.Core
+}
+
+// RunTrace is the observable outcome of a workload run.
+type RunTrace struct {
+	Out     []uint16
+	Cycles  uint64
+	Toggles []uint64
+}
+
+// RunWorkload executes prog's workload concretely on core and collects
+// toggle counts. The run ends at the testbench halt convention.
+func RunWorkload(core *cpu.Core, prog *asm.Program, w *Workload) (*RunTrace, error) {
+	h, err := cpu.NewHarnessOn(core, prog.Bytes, prog.Origin)
+	if err != nil {
+		return nil, err
+	}
+	max := uint64(2_000_000)
+	if w != nil && w.MaxCycles != 0 {
+		max = w.MaxCycles
+	}
+	if w != nil {
+		for addr, v := range w.RAM {
+			core.RAM.SetWord((addr-msp430.RAMStart)/2, logic.KnownWord(v))
+		}
+	}
+	h.Sim.ResetToggleCounts()
+	p1i, irqi := 0, 0
+	for {
+		if w != nil {
+			for p1i < len(w.P1) && w.P1[p1i].At <= h.Cycles {
+				h.SetP1In(w.P1[p1i].Value)
+				p1i++
+			}
+			for irqi < len(w.IRQ) && w.IRQ[irqi].At <= h.Cycles {
+				h.SetIRQ(w.IRQ[irqi].Line, w.IRQ[irqi].Level)
+				irqi++
+			}
+		}
+		if h.Cycles >= max {
+			return nil, fmt.Errorf("core: workload did not halt in %d cycles (pc=%#04x)", max, h.PCVal())
+		}
+		if h.State() == cpu.StateFETCH && halted(core, h) {
+			break
+		}
+		h.StepCycle()
+	}
+	return &RunTrace{Out: h.Out, Cycles: h.Cycles, Toggles: append([]uint64(nil), h.Sim.ToggleCount...)}, nil
+}
+
+// halted implements the testbench halt convention: an unconditional
+// self-jump with interrupts unable to fire.
+func halted(core *cpu.Core, h *cpu.Harness) bool {
+	pc := h.PCVal()
+	if !msp430.InROM(pc) {
+		return false
+	}
+	if core.ROM.Words()[(pc-msp430.ROMStart)/2] != 0x3FFF {
+		return false
+	}
+	return h.Sim.Val[core.IrqTake] == logic.Zero
+}
+
+// blockPaths builds the STA macro arcs for the core's memories.
+func blockPaths(core *cpu.Core) []sta.BlockPath {
+	const memAccessPs = 1200
+	return []sta.BlockPath{
+		{Ins: core.ROM.Inputs(), Outs: core.ROM.Outputs(), DelayPs: memAccessPs},
+		{Ins: core.RAM.Inputs(), Outs: core.RAM.Outputs(), DelayPs: memAccessPs},
+	}
+}
+
+// keepAlive lists the nets re-synthesis must preserve: memory macro pins.
+func keepAlive(core *cpu.Core) []netlist.GateID {
+	var keep []netlist.GateID
+	keep = append(keep, core.ROM.Inputs()...)
+	keep = append(keep, core.RAM.Inputs()...)
+	return keep
+}
+
+// measure runs signoff for one design point.
+func measure(core *cpu.Core, prog *asm.Program, w *Workload, lib *cells.Library, clockPs float64) (Metrics, *RunTrace, error) {
+	place := layout.Place(core.N, lib)
+	timing, err := sta.Analyze(core.N, lib, place, clockPs, blockPaths(core))
+	if err != nil {
+		return Metrics{}, nil, err
+	}
+	trace, err := RunWorkload(core, prog, w)
+	if err != nil {
+		return Metrics{}, nil, err
+	}
+	pw := power.Analyze(core.N, lib, place, trace.Toggles, trace.Cycles, clockHz, lib.VNominal)
+	st := core.N.Stats()
+	return Metrics{Gates: st.Gates, Dffs: st.Dffs, Timing: timing, Power: pw}, trace, nil
+}
+
+// clockHz is the operating frequency of the paper's evaluation (100 MHz).
+const clockHz = 100e6
+
+// Tailor produces a bespoke design for one application.
+func Tailor(prog *asm.Program, w *Workload, opts Options) (*Result, error) {
+	return tailor([]*asm.Program{prog}, []*Workload{w}, opts, false)
+}
+
+// TailorMulti produces a bespoke design supporting all given applications
+// (the union of their exercisable gates, per the paper's Section 3.5).
+func TailorMulti(progs []*asm.Program, ws []*Workload, opts Options) (*Result, error) {
+	return tailor(progs, ws, opts, false)
+}
+
+// TailorCoarse removes only wholly-unusable modules (the Xtensa-like
+// module-level customization of Figure 12), guided by the same gate
+// activity analysis.
+func TailorCoarse(prog *asm.Program, w *Workload, opts Options) (*Result, error) {
+	return tailor([]*asm.Program{prog}, []*Workload{w}, opts, true)
+}
+
+func tailor(progs []*asm.Program, ws []*Workload, opts Options, coarse bool) (*Result, error) {
+	if len(progs) == 0 {
+		return nil, fmt.Errorf("core: no programs")
+	}
+	lib := opts.Lib
+	if lib == nil {
+		lib = cells.TSMC65()
+	}
+
+	// Gate activity analysis per program; the union of toggled gates
+	// must be retained (gate IDs align across builds: elaboration is
+	// deterministic).
+	baseline := cpu.Build()
+	baseline.LoadProgram(progs[0].Bytes, progs[0].Origin)
+
+	union, err := UnionAnalysis(progs, opts.Sym)
+	if err != nil {
+		return nil, err
+	}
+
+	// Baseline signoff. The clock is set so the baseline just meets
+	// timing unless overridden.
+	clockPs := opts.ClockPs
+	if clockPs == 0 {
+		place := layout.Place(baseline.N, lib)
+		t, err := sta.Analyze(baseline.N, lib, place, 0, blockPaths(baseline))
+		if err != nil {
+			return nil, err
+		}
+		clockPs = t.CriticalPs * 1.02
+	}
+	baseMet, _, err := measure(baseline, progs[0], wsAt(ws, 0), lib, clockPs)
+	if err != nil {
+		return nil, fmt.Errorf("baseline workload: %w", err)
+	}
+
+	// Cut and stitch on a clone.
+	bespoke := baseline.Clone()
+	toggled := union.Toggled
+	if coarse {
+		toggled = coarsen(bespoke.N, toggled)
+	}
+	cutStats, err := cut.Apply(bespoke.N, toggled, union.ConstVal)
+	if err != nil {
+		return nil, err
+	}
+	synthStats := synth.Optimize(bespoke.N, keepAlive(bespoke))
+
+	besMet, besTrace, err := measure(bespoke, progs[0], wsAt(ws, 0), lib, clockPs)
+	if err != nil {
+		return nil, fmt.Errorf("bespoke workload: %w", err)
+	}
+	// Multi-program designs must run every application.
+	for i := 1; i < len(progs); i++ {
+		if _, err := RunWorkload(bespoke, progs[i], wsAt(ws, i)); err != nil {
+			return nil, fmt.Errorf("bespoke workload %d: %w", i, err)
+		}
+	}
+
+	// Exploit exposed slack: rerun power at Vmin.
+	place := layout.Place(bespoke.N, lib)
+	pwVmin := power.Analyze(bespoke.N, lib, place, besTrace.Toggles, besTrace.Cycles, clockHz, besMet.Timing.Vmin)
+
+	res := &Result{
+		Baseline:      baseMet,
+		Bespoke:       besMet,
+		BespokeAtVmin: pwVmin,
+		Analysis:      union,
+		CutStats:      cutStats,
+		SynthStats:    synthStats,
+		BespokeCore:   bespoke,
+		BaselineCore:  baseline,
+	}
+	res.GateSavings = 1 - float64(besMet.Gates)/float64(baseMet.Gates)
+	res.AreaSavings = 1 - besMet.Power.AreaUm2/baseMet.Power.AreaUm2
+	res.PowerSavings = 1 - besMet.Power.TotalUW/baseMet.Power.TotalUW
+	res.PowerSavingsVmin = 1 - pwVmin.TotalUW/baseMet.Power.TotalUW
+	return res, nil
+}
+
+func wsAt(ws []*Workload, i int) *Workload {
+	if i < len(ws) {
+		return ws[i]
+	}
+	return nil
+}
+
+// UnionAnalysis runs the activity analysis for every program and returns
+// the union of toggleable gates (a gate survives if any program needs it).
+func UnionAnalysis(progs []*asm.Program, opts symexec.Options) (*symexec.Result, error) {
+	var union *symexec.Result
+	for _, p := range progs {
+		res, _, err := symexec.Analyze(p, opts)
+		if err != nil {
+			return nil, err
+		}
+		if union == nil {
+			union = res
+			continue
+		}
+		for i := range union.Toggled {
+			if res.Toggled[i] {
+				union.Toggled[i] = true
+			} else if !union.Toggled[i] && union.ConstVal[i] != res.ConstVal[i] {
+				// Untoggled in both but at different constants: the
+				// gate is static per application but not across them;
+				// it must be kept.
+				union.Toggled[i] = true
+			}
+		}
+		union.Paths += res.Paths
+		union.Cycles += res.Cycles
+		union.Merges += res.Merges
+	}
+	return union, nil
+}
+
+// coarsen widens a gate-level toggled map to module granularity: a module
+// keeps all its gates unless none of them can toggle (the paper's
+// "coarse-grained module-level bespoke design").
+func coarsen(n *netlist.Netlist, toggled []bool) []bool {
+	out := make([]bool, len(toggled))
+	copy(out, toggled)
+	for _, gates := range n.GatesByModule() {
+		any := false
+		for _, g := range gates {
+			if toggled[g] {
+				any = true
+				break
+			}
+		}
+		if any {
+			for _, g := range gates {
+				out[g] = true
+			}
+		}
+	}
+	return out
+}

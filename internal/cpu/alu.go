@@ -1,0 +1,149 @@
+package cpu
+
+import (
+	"bespoke/internal/builder"
+	"bespoke/internal/msp430"
+)
+
+// alu builds the arithmetic/logic unit: the shared binary adder, the BCD
+// adder, the logic unit, the single-bit shifter ops, and flag generation.
+// All operations run at 16 bits with byte-mode operand masking; results
+// are masked so byte results have a clear high byte (the ISA model's
+// register byte-write semantics).
+func (g *gen) alu() {
+	b := g.b
+	b.Scope("alu", func() {
+		bw := g.bw
+		notBW := b.Not(bw)
+
+		// Masked operands: high byte forced to 0 in byte mode.
+		mask := func(v builder.Bus) builder.Bus {
+			out := make(builder.Bus, 16)
+			for i := range out {
+				if i < 8 {
+					out[i] = v[i]
+				} else {
+					out[i] = b.And(v[i], notBW)
+				}
+			}
+			return out
+		}
+		sM := mask(g.srcVal)
+		dM := mask(b.MuxB(g.isFmt2, g.dstVal, g.srcVal))
+
+		opcDec := b.Decode(g.opc)
+		fmt1 := func(op msp430.Op) builder.Wire { return b.And(g.isFmt1, opcDec[op]) }
+		isADD := fmt1(msp430.ADD)
+		isADDC := fmt1(msp430.ADDC)
+		isSUBC := fmt1(msp430.SUBC)
+		isSUB := fmt1(msp430.SUB)
+		isCMP := fmt1(msp430.CMP)
+		isDADD := fmt1(msp430.DADD)
+		isBIT := fmt1(msp430.BIT)
+		isXOR := fmt1(msp430.XOR)
+		isAND := fmt1(msp430.AND)
+
+		subLike := b.Or(isSUB, isSUBC, isCMP)
+		useCarry := b.Or(isADDC, isSUBC)
+		cFlag := g.sr[0]
+
+		// Adder operand: source, conditionally inverted (within the byte
+		// mask) for subtraction.
+		sAdd := make(builder.Bus, 16)
+		for i := range sAdd {
+			inv := subLike
+			if i >= 8 {
+				inv = b.And(subLike, notBW)
+			}
+			sAdd[i] = b.Xor(sM[i], inv)
+		}
+		cin := b.Mux(useCarry, subLike, cFlag)
+		sum, coutW := b.Add(sAdd, dM, cin)
+		coutB := sum[8]
+		addC := b.Mux(bw, coutW, coutB)
+		// Overflow: operands same sign, result sign differs.
+		vW := b.And(b.Xnor(sAdd[15], dM[15]), b.Xor(sum[15], dM[15]))
+		vB := b.And(b.Xnor(sAdd[7], dM[7]), b.Xor(sum[7], dM[7]))
+		addV := b.Mux(bw, vW, vB)
+
+		// BCD adder (DADD): digit-serial with decimal correction.
+		dadd := make(builder.Bus, 0, 16)
+		dCarry := cFlag
+		var dCarry1 builder.Wire // carry out of digit 1 (byte mode)
+		for d := 0; d < 4; d++ {
+			a4 := b.Ext(sM[4*d:4*d+4], 5)
+			b4 := b.Ext(dM[4*d:4*d+4], 5)
+			t, _ := b.Add(a4, b4, dCarry)
+			// t >= 10: t4 | (t3 & (t2 | t1))
+			ge10 := b.Or(t[4], b.And(t[3], b.Or(t[2], t[1])))
+			adj, _ := b.Add(t[0:4], b.BusConst(6, 4), b.Low())
+			digit := b.MuxB(ge10, t[0:4], adj)
+			dadd = append(dadd, digit...)
+			dCarry = ge10
+			if d == 1 {
+				dCarry1 = ge10
+			}
+		}
+		daddC := b.Mux(bw, dCarry, dCarry1)
+
+		// Logic unit.
+		andR := b.AndB(sM, dM)
+		bicR := b.AndB(b.NotB(sM), dM)
+		bisR := b.OrB(sM, dM)
+		xorR := b.XorB(sM, dM)
+		xorV := b.Mux(bw, b.And(sM[15], dM[15]), b.And(sM[7], dM[7]))
+
+		// Single-operand unit (format II): RRC, RRA, SWPB, SXT.
+		v16 := dM // format II operand (mask applied)
+		topIn := b.Mux(g.f2RRC, b.Mux(bw, v16[15], v16[7]), cFlag)
+		shr := make(builder.Bus, 16)
+		for i := 0; i < 16; i++ {
+			switch {
+			case i == 15:
+				shr[i] = topIn
+			case i == 7:
+				shr[i] = b.Mux(bw, v16[8], topIn)
+			default:
+				shr[i] = v16[i+1]
+			}
+		}
+		shiftC := v16[0]
+		swpb := builder.Cat(g.srcVal[8:16], g.srcVal[0:8])
+		sxt := b.SignExt(g.srcVal[0:8], 16)
+
+		// Result select. Format I by opcode; format II overrides.
+		res1 := b.MuxTree(g.opc, []builder.Bus{
+			sM, sM, sM, sM, // opcodes 0-3 unused: behave as MOV
+			sM,                      // MOV
+			sum, sum, sum, sum, sum, // ADD, ADDC, SUBC, SUB, CMP
+			dadd,       // DADD
+			andR,       // BIT
+			bicR, bisR, // BIC, BIS
+			xorR, andR, // XOR, AND
+		})
+		res2 := b.MuxTree(builder.Bus{g.dw[7], g.dw[8], g.dw[9]}, []builder.Bus{
+			shr, swpb, shr, sxt, // RRC, SWPB, RRA, SXT
+			sM, sM, sM, sM, // PUSH, CALL, RETI, reserved: pass operand
+		})
+		res := b.MuxB(g.isFmt2, res1, res2)
+		res = mask(res)
+		b.DriveBus(g.aluRes, res)
+
+		// Flags.
+		zW := b.IsZero(res)
+		zB := b.IsZero(res[0:8])
+		g.aluZ = b.Mux(bw, zW, zB)
+		g.aluN = b.Mux(bw, res[15], res[7])
+		notZ := b.Not(g.aluZ)
+
+		logicC := b.Or(isBIT, isAND, isXOR, g.f2SXT)
+		shiftOp := b.Or(g.f2RRC, g.f2RRA)
+		addLike := b.Or(isADD, isADDC, isSUB, isSUBC, isCMP)
+		cRes := b.And(addLike, addC)
+		cRes = b.Or(cRes, b.And(isDADD, daddC))
+		cRes = b.Or(cRes, b.And(logicC, notZ))
+		cRes = b.Or(cRes, b.And(shiftOp, shiftC))
+		g.aluC = cRes
+		g.aluV = b.Or(b.And(addLike, addV), b.And(isXOR, xorV))
+	})
+}

@@ -1,0 +1,78 @@
+package cpu
+
+import (
+	"bespoke/internal/builder"
+	"bespoke/internal/msp430"
+	"bespoke/internal/sim"
+)
+
+// memBackbone decodes the unified address space, instantiates the RAM and
+// ROM macros, merges read data onto mdb_in, and produces the byte-lane
+// extracted read value.
+//
+// Map: peripherals+SFR 0x0000-0x01FF, RAM 0x0800-0x0FFF, ROM 0xE000-0xFFFF.
+func (g *gen) memBackbone() {
+	b := g.b
+	b.Scope("mem_backbone", func() {
+		mab := g.mab
+
+		romSel := b.And(mab[15], mab[14], mab[13])
+		ramSel := b.And(b.Not(mab[15]), b.Not(mab[14]), b.Not(mab[13]), b.Not(mab[12]), mab[11])
+		g.perSel = b.Nor(b.Or(mab[9], mab[10], mab[11], mab[12]), b.Or(mab[13], mab[14], mab[15]))
+
+		// RAM macro: 1024 words (2 KiB).
+		ramRd := b.InputBus("ram_rdata", 16)
+		ramEn := b.And(ramSel, g.men)
+		ramWL := b.And(g.mwrLo, ramSel)
+		ramWH := b.And(g.mwrHi, ramSel)
+		g.c.RAM = sim.NewRAM(mab[1:11], g.mdbOut, ramRd, ramEn, ramWL, ramWH)
+
+		// ROM macro: 4096 words (8 KiB).
+		romRd := b.InputBus("rom_rdata", 16)
+		romEn := b.And(romSel, g.men)
+		g.c.ROM = sim.NewROM(mab[1:13], romRd, romEn)
+
+		// Peripheral read data arrives from the peripheral modules.
+		g.perOut = b.ForwardBus("per_out", 16)
+
+		// Merge: exactly one contributor is nonzero.
+		mdb := b.OrB(b.OrB(ramRd, romRd), g.perOut)
+		b.DriveBus(g.mdbIn, mdb)
+
+		// Byte-lane extraction for operand loads.
+		lane := b.MuxB(mab[0], g.mdbIn[0:8], g.mdbIn[8:16])
+		g.memRdVal = make(builder.Bus, 16)
+		for i := 0; i < 16; i++ {
+			if i < 8 {
+				g.memRdVal[i] = b.Mux(g.bw, g.mdbIn[i], lane[i])
+			} else {
+				g.memRdVal[i] = b.And(g.mdbIn[i], b.Not(g.bw))
+			}
+		}
+
+		// Peripheral write lanes.
+		g.perWrLo = b.And(g.mwrLo, g.perSel)
+		g.perWrHi = b.And(g.mwrHi, g.perSel)
+		g.perWrAny = b.Or(g.perWrLo, g.perWrHi)
+		g.c.MAB = g.mab
+		g.c.MdbOut = g.mdbOut
+		g.c.PerWrAny = g.perWrAny
+	})
+	_ = msp430.PerEnd // map documented above
+}
+
+// perAddr returns a select line for the peripheral word register at
+// address a (within the 0x000-0x1FF region), qualified by perSel and the
+// access strobe: the address bus carries don't-care values on non-access
+// cycles, and an unqualified decode would switch peripheral-side logic
+// every cycle. The decode gates belong to the memory backbone regardless
+// of which module requests the select line.
+func (g *gen) perAddr(a uint16) builder.Wire {
+	var w builder.Wire
+	g.b.AtRoot(func() {
+		g.b.Scope("mem_backbone", func() {
+			w = g.b.And(g.perSel, g.men, g.b.EqConst(g.mab[1:9], uint64(a>>1)))
+		})
+	})
+	return w
+}

@@ -1,0 +1,242 @@
+// Package cpu generates the gate-level openMSP430-class microcontroller
+// that the bespoke flow tailors. The core is built entirely from the
+// 2-input cells of internal/netlist via the internal/builder DSL and is
+// functionally verified against the internal/isasim golden model,
+// instruction by instruction (see cosim_test.go).
+//
+// Microarchitecture: a single-issue multicycle machine (no pipeline, no
+// caches, no prediction - the ULP class of the paper's Table 6) with one
+// unified memory port. Instructions take 1-7 cycles through the state
+// machine below. Memory arrays (RAM, ROM) are behavioral macros; all bus
+// and peripheral logic is gates.
+//
+// Module decomposition mirrors the openMSP430 blocks the paper reports:
+// frontend (fetch/decode/state), execution (operand and address glue),
+// alu, register_file, mem_backbone, multiplier, sfr, watchdog,
+// clock_module, and dbg.
+package cpu
+
+import (
+	"bespoke/internal/builder"
+	"bespoke/internal/msp430"
+	"bespoke/internal/netlist"
+	"bespoke/internal/sim"
+)
+
+// FSM states. FETCH is 0 so instruction boundaries are easy to observe.
+const (
+	stFETCH uint64 = iota
+	stSRCEXT
+	stSRCRD
+	stDSTEXT
+	stDSTRD
+	stEXEC
+	stDSTWR
+	stPUSH1
+	stCALL1
+	stCALL2
+	stRETI1
+	stRETI2
+	stIRQ1
+	stIRQ2
+	stIRQ3
+	stRESET // entered at power-on to fetch the reset vector
+)
+
+// NumIRQ is the number of external interrupt request lines.
+const NumIRQ = 3
+
+// Exported FSM state values for observers (symbolic execution, power
+// gating analysis).
+const (
+	StateFETCH = stFETCH
+	StateEXEC  = stEXEC
+)
+
+// Core is the generated design plus the observation map used by the
+// testbench, the co-simulator and the symbolic execution engine.
+type Core struct {
+	N *netlist.Netlist
+
+	// Memory macros (attach to a Sim via NewSim).
+	ROM *sim.ROM
+	RAM *sim.RAM
+
+	// Primary inputs.
+	IRQ  [NumIRQ]builder.Wire
+	P1In builder.Bus
+
+	// Primary outputs (nets).
+	OutData builder.Bus // OUTPORT write value
+	OutWr   builder.Wire
+	P1Out   builder.Bus
+
+	// Architectural state (flip-flop nets).
+	Regs  [16]builder.Bus // Regs[2] (SR) is 9 bits wide
+	State builder.Bus
+	IRReg builder.Bus
+	IEReg builder.Bus
+	IFReg builder.Bus
+
+	// CPUEn is the clock-module enable: state advances when 1.
+	CPUEn builder.Wire
+	// MAB/MdbOut/PerWrAny expose the memory bus for observers.
+	MAB      builder.Bus
+	MdbOut   builder.Bus
+	PerWrAny builder.Wire
+	// IrqTake is the net that decides interrupt entry during FETCH; the
+	// symbolic engine forks the execution tree when it is X.
+	IrqTake builder.Wire
+}
+
+// PC returns the program counter flip-flop nets.
+func (c *Core) PC() builder.Bus { return c.Regs[msp430.PC] }
+
+// SP returns the stack pointer flip-flop nets.
+func (c *Core) SP() builder.Bus { return c.Regs[msp430.SP] }
+
+// SR returns the status register flip-flop nets (9 bits).
+func (c *Core) SR() builder.Bus { return c.Regs[msp430.SR] }
+
+// NewSim instantiates a simulator over the core and its memory macros.
+func (c *Core) NewSim() (*sim.Sim, error) {
+	return sim.New(c.N, c.ROM, c.RAM)
+}
+
+// LoadProgram copies a binary image into ROM.
+func (c *Core) LoadProgram(image []byte, loadAddr uint16) {
+	words := c.ROM.Words()
+	for i := 0; i+1 < len(image); i += 2 {
+		a := loadAddr + uint16(i)
+		words[(a-msp430.ROMStart)/2] = uint16(image[i]) | uint16(image[i+1])<<8
+	}
+	if len(image)%2 == 1 {
+		a := loadAddr + uint16(len(image)) - 1
+		w := words[(a-msp430.ROMStart)/2]
+		words[(a-msp430.ROMStart)/2] = w&0xFF00 | uint16(image[len(image)-1])
+	}
+}
+
+// Clone returns a core over a deep-copied netlist with independent
+// memory macros; the bespoke flow cuts the clone while the baseline stays
+// intact. Gate IDs are preserved, so analysis arrays and observation
+// buses remain valid for both.
+func (c *Core) Clone() *Core {
+	c2 := *c
+	c2.N = c.N.Clone()
+	c2.RAM = c.RAM.CloneEmpty()
+	c2.ROM = c.ROM.Clone()
+	return &c2
+}
+
+// gen carries every intermediate signal while the core is elaborated.
+type gen struct {
+	b *builder.Builder
+	c *Core
+
+	// registers (created first, wired at the end)
+	state                  builder.Reg
+	ir, ext, dext          builder.Reg
+	srcv, dstv, res, daddr builder.Reg
+	regs                   [16]builder.Reg
+	ieReg, ifgReg          builder.Reg
+
+	// state decode
+	stIs [16]builder.Wire
+
+	// instruction decode (from decodeWord)
+	dw                           builder.Bus
+	sreg, dreg, as, opc          builder.Bus
+	isFmt1, isFmt2, isJmp, bw    builder.Wire
+	ad                           builder.Wire
+	f2RRC, f2SWPB, f2RRA, f2SXT  builder.Wire
+	f2PUSH, f2CALL, f2RETI       builder.Wire
+	f2RMW, f2Mem                 builder.Wire
+	srcIsCG, srcIsImm, srcAbs    builder.Wire
+	srcNeedsExt, srcNeedsRead    builder.Wire
+	srcIsRegOrCG, srcIncEn       builder.Wire
+	srcModeReg                   builder.Wire
+	incIsOne                     builder.Wire
+	dstIsMem, dstAbs             builder.Wire
+	opWrites, opSetsFlags, isMOV builder.Wire
+	cgVal                        builder.Bus
+	nx                           *decSet // decoder over the fetched word
+	irqNumReg                    builder.Reg
+	bcsReg, divCnt               builder.Reg
+
+	// buses
+	mab, mdbIn, mdbOut builder.Bus
+	men, mwr           builder.Wire
+	mwrLo, mwrHi       builder.Wire
+	memRdVal           builder.Bus // byte-lane extracted / word
+	perOut             builder.Bus
+	perSel             builder.Wire
+	perWrLo, perWrHi   builder.Wire
+	perWrAny           builder.Wire
+	perContrib         []builder.Bus
+
+	// register file values and write ports
+	rfA, rfB   builder.Bus // read ports (sreg, dreg)
+	pc, sp     builder.Bus
+	sr         builder.Bus // 9 bits
+	portWEn    builder.Wire
+	portWSel   builder.Bus
+	portWData  builder.Bus
+	portXEn    builder.Wire
+	portXSel   builder.Bus
+	portXData  builder.Bus
+	flagWrite  builder.Wire
+	aluC, aluZ builder.Wire
+	aluN, aluV builder.Wire
+	srFromMem  builder.Wire // RETI1
+	srClear    builder.Wire // IRQ3
+	srcVal     builder.Bus
+	dstVal     builder.Bus
+	aluRes     builder.Bus
+	pcAdd      builder.Bus // frontend adder output
+	addrAdd    builder.Bus // execution address adder output
+	irqTake    builder.Wire
+	irqNum     builder.Bus // 2 bits
+	sleep      builder.Wire
+	cpuEn      builder.Wire
+	smclkTick  builder.Wire
+	jumpTaken  builder.Wire
+	gie        builder.Wire
+	outWr      builder.Wire
+}
+
+// Build elaborates the full microcontroller netlist.
+func Build() *Core {
+	b := builder.New()
+	g := &gen{b: b, c: &Core{}}
+
+	// Primary inputs first.
+	for i := 0; i < NumIRQ; i++ {
+		g.c.IRQ[i] = b.Input(nameIRQ(i))
+	}
+	g.c.P1In = b.InputBus("p1in", 16)
+
+	g.makeRegisters()
+	g.clockModule()
+	g.decode()
+	g.irqLogic()
+	g.regFileRead()
+	g.frontendEarly()
+	g.execution()
+	g.alu()
+	g.frontendLate()
+	g.memBackbone()
+	g.peripherals()
+	g.regFileWrite()
+	g.wireRegisters()
+
+	g.c.N = b.N
+	if err := b.N.Validate(); err != nil {
+		panic("cpu: generated netlist invalid: " + err.Error())
+	}
+	return g.c
+}
+
+func nameIRQ(i int) string {
+	return "irq" + string(rune('0'+i))
+}

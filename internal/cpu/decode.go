@@ -1,0 +1,158 @@
+package cpu
+
+import (
+	"bespoke/internal/builder"
+	"bespoke/internal/msp430"
+)
+
+// decSet is one instantiation of the instruction decoder.
+type decSet struct {
+	sreg, dreg, as, opc         builder.Bus
+	ad, bw                      builder.Wire
+	isFmt1, isFmt2, isJmp       builder.Wire
+	f2RRC, f2SWPB, f2RRA, f2SXT builder.Wire
+	f2PUSH, f2CALL, f2RETI      builder.Wire
+	f2RMW, f2Mem                builder.Wire
+	srcIsCG, srcIsImm, srcAbs   builder.Wire
+	srcNeedsExt, srcNeedsRead   builder.Wire
+	srcIsRegOrCG, srcIncEn      builder.Wire
+	srcModeReg, incIsOne        builder.Wire
+	dstIsMem, dstAbs            builder.Wire
+	opWrites, opSetsFlags       builder.Wire
+	isMOV                       builder.Wire
+	cgVal                       builder.Bus
+}
+
+// decodeWord elaborates one full decoder over the 16-bit word dw.
+func (g *gen) decodeWord(dw builder.Bus) *decSet {
+	b := g.b
+	d := &decSet{}
+
+	d.opc = dw[12:16]
+	d.dreg = dw[0:4]
+	d.ad = dw[7]
+	d.bw = dw[6]
+	d.as = dw[4:6]
+
+	d.isJmp = b.And(b.Not(dw[15]), b.Not(dw[14]), dw[13])
+	d.isFmt2 = b.And(b.Not(dw[15]), b.Not(dw[14]), b.Not(dw[13]), dw[12], b.Not(dw[11]), b.Not(dw[10]))
+	d.isFmt1 = b.Or(dw[15], dw[14])
+
+	// Format II operand register lives in bits 3:0; format I source
+	// register in bits 11:8.
+	d.sreg = b.MuxB(d.isFmt2, dw[8:12], d.dreg)
+
+	f2dec := b.Decode(builder.Bus{dw[7], dw[8], dw[9]})
+	d.f2RRC = b.And(d.isFmt2, f2dec[0])
+	d.f2SWPB = b.And(d.isFmt2, f2dec[1])
+	d.f2RRA = b.And(d.isFmt2, f2dec[2])
+	d.f2SXT = b.And(d.isFmt2, f2dec[3])
+	d.f2PUSH = b.And(d.isFmt2, f2dec[4])
+	d.f2CALL = b.And(d.isFmt2, f2dec[5])
+	d.f2RETI = b.And(d.isFmt2, f2dec[6])
+
+	// Constant generators: r3 always, r2 with As >= 2.
+	sIs3 := b.EqConst(d.sreg, uint64(msp430.CG))
+	sIs2 := b.EqConst(d.sreg, uint64(msp430.SR))
+	sIs01 := b.Or(b.EqConst(d.sreg, 0), b.EqConst(d.sreg, 1))
+	d.srcIsCG = b.Or(sIs3, b.And(sIs2, d.as[1]))
+	asIs := b.Decode(d.as)
+	d.srcIsImm = b.And(asIs[3], b.EqConst(d.sreg, uint64(msp430.PC)))
+	d.srcAbs = b.And(asIs[1], sIs2)
+	d.srcNeedsExt = b.And(b.Not(d.srcIsCG), b.Or(asIs[1], d.srcIsImm))
+	d.srcNeedsRead = b.And(b.Not(d.srcIsCG), b.Not(d.srcIsImm), b.Not(asIs[0]))
+	d.srcModeReg = asIs[0]
+	d.srcIsRegOrCG = b.Or(asIs[0], d.srcIsCG)
+	d.srcIncEn = b.And(asIs[3], b.Not(d.srcIsCG), b.Not(d.srcIsImm))
+	// Autoincrement is by 1 for byte ops, except PC and SP.
+	d.incIsOne = b.And(d.bw, b.Not(sIs01))
+
+	// Constant generator value.
+	cg3 := b.MuxTree(d.as, []builder.Bus{
+		b.BusConst(0, 16), b.BusConst(1, 16), b.BusConst(2, 16), b.BusConst(0xFFFF, 16),
+	})
+	// r2 constants: As=2 (10b) gives 4, As=3 (11b) gives 8.
+	cg2 := b.MuxTree(d.as[0:1], []builder.Bus{b.BusConst(4, 16), b.BusConst(8, 16)})
+	d.cgVal = b.MuxB(sIs3, cg2, cg3)
+
+	d.dstIsMem = b.And(d.isFmt1, d.ad)
+	d.dstAbs = b.And(d.dstIsMem, b.EqConst(d.dreg, uint64(msp430.SR)))
+
+	opcDec := b.Decode(d.opc)
+	isCMP := b.And(d.isFmt1, opcDec[msp430.CMP])
+	isBIT := b.And(d.isFmt1, opcDec[msp430.BIT])
+	d.isMOV = b.And(d.isFmt1, opcDec[msp430.MOV])
+	d.opWrites = b.And(d.isFmt1, b.Not(isCMP), b.Not(isBIT))
+	noFlagsI := b.Or(opcDec[msp430.MOV], opcDec[msp430.BIC], opcDec[msp430.BIS])
+	flagsII := b.Or(d.f2RRC, d.f2RRA, d.f2SXT)
+	d.opSetsFlags = b.Or(b.And(d.isFmt1, b.Not(noFlagsI)), flagsII)
+
+	d.f2RMW = b.Or(d.f2RRC, d.f2SWPB, d.f2RRA, d.f2SXT)
+	d.f2Mem = b.And(d.f2RMW, b.Not(d.srcIsRegOrCG), b.Not(d.srcIsImm))
+	return d
+}
+
+// decode builds two decoder instances: the main one over the instruction
+// register (used by every execution state and by the data paths), and a
+// second over the freshly fetched word (used only by the FETCH next-state
+// choice, so no dead decode cycle is needed). Keeping the data paths off
+// the fetched word avoids a structural combinational cycle through the
+// memory address bus.
+func (g *gen) decode() {
+	b := g.b
+	b.Scope("frontend", func() {
+		// mdbIn is a forward bus driven later by the memory backbone.
+		g.mdbIn = b.ForwardBus("mdb_in", 16)
+		g.dw = g.ir.Q
+
+		d := g.decodeWord(g.ir.Q)
+		g.sreg, g.dreg, g.as, g.opc = d.sreg, d.dreg, d.as, d.opc
+		g.ad, g.bw = d.ad, d.bw
+		g.isFmt1, g.isFmt2, g.isJmp = d.isFmt1, d.isFmt2, d.isJmp
+		g.f2RRC, g.f2SWPB, g.f2RRA, g.f2SXT = d.f2RRC, d.f2SWPB, d.f2RRA, d.f2SXT
+		g.f2PUSH, g.f2CALL, g.f2RETI = d.f2PUSH, d.f2CALL, d.f2RETI
+		g.f2RMW, g.f2Mem = d.f2RMW, d.f2Mem
+		g.srcIsCG, g.srcIsImm, g.srcAbs = d.srcIsCG, d.srcIsImm, d.srcAbs
+		g.srcNeedsExt, g.srcNeedsRead = d.srcNeedsExt, d.srcNeedsRead
+		g.srcIsRegOrCG, g.srcIncEn = d.srcIsRegOrCG, d.srcIncEn
+		g.srcModeReg, g.incIsOne = d.srcModeReg, d.incIsOne
+		g.dstIsMem, g.dstAbs = d.dstIsMem, d.dstAbs
+		g.opWrites, g.opSetsFlags, g.isMOV = d.opWrites, d.opSetsFlags, d.isMOV
+		g.cgVal = d.cgVal
+
+		// Fetch-word decoder for the next-state choice.
+		g.nx = g.decodeWord(g.mdbIn)
+	})
+}
+
+// decSetMain repackages the IR-based decode signals as a decSet for code
+// shared between the two decoder consumers.
+func (g *gen) decSetMain() *decSet {
+	return &decSet{
+		sreg: g.sreg, dreg: g.dreg, as: g.as, opc: g.opc,
+		ad: g.ad, bw: g.bw,
+		isFmt1: g.isFmt1, isFmt2: g.isFmt2, isJmp: g.isJmp,
+		f2PUSH: g.f2PUSH, f2CALL: g.f2CALL, f2RETI: g.f2RETI,
+		f2RMW: g.f2RMW, f2Mem: g.f2Mem,
+		srcNeedsExt: g.srcNeedsExt, srcNeedsRead: g.srcNeedsRead,
+		srcIsImm: g.srcIsImm, dstIsMem: g.dstIsMem,
+		opWrites: g.opWrites, isMOV: g.isMOV,
+	}
+}
+
+// irqLogic computes interrupt-take and the raw interrupt number from the
+// SFR enable/flag registers.
+func (g *gen) irqLogic() {
+	b := g.b
+	b.Scope("frontend", func() {
+		g.gie = g.sr[3]
+		pend := b.AndB(g.c.IEReg[:4], g.c.IFReg[:4])
+		anyPend := b.OrReduce(pend)
+		g.irqTake = b.And(g.gie, anyPend)
+		g.c.IrqTake = g.irqTake
+		// Priority encoder, highest line wins.
+		n1 := b.Or(pend[3], pend[2])
+		n0 := b.Or(pend[3], b.And(pend[1], b.Not(pend[2])))
+		g.irqNum = builder.Bus{n0, n1}
+	})
+}

@@ -1,0 +1,108 @@
+package cpu
+
+import (
+	"bespoke/internal/builder"
+	"bespoke/internal/msp430"
+)
+
+// execution builds the operand-value muxes, the shared address adder, the
+// memory address/write-data buses, and the register-file write ports.
+// The ALU result arrives through a forward bus driven by alu().
+func (g *gen) execution() {
+	b := g.b
+	b.Scope("execution", func() {
+		g.aluRes = b.ForwardBus("alu_res", 16)
+
+		// Source value: register/constant-generator sources are read
+		// combinationally; memory/immediate sources come from SRCV.
+		srcRegVal := b.MuxB(g.srcIsCG, g.rfA, g.cgVal)
+		g.srcVal = b.MuxB(g.srcIsRegOrCG, g.srcv.Q, srcRegVal)
+
+		// Destination value for format I; format II operates on srcVal.
+		g.dstVal = b.MuxB(g.dstIsMem, g.rfB, g.dstv.Q)
+
+		// Shared address adder: A + B.
+		//   SRCRD:                    (srcAbs ? 0 : R[s]) + (EXT or 0)
+		//   DSTRD/DSTWR (format I):   (dstAbs ? 0 : R[d]) + DEXT
+		//   PUSH1/CALL1/IRQ1/IRQ2:    SP + (-2)
+		//   RETI1/RETI2:              SP + 2
+		//   IRQ3:                     0xFFF6 + irqnum*2
+		zero16 := b.BusConst(0, 16)
+		inSrc := g.stIs[stSRCRD]
+		spDown := b.Or(g.stIs[stPUSH1], g.stIs[stCALL1], g.stIs[stIRQ1], g.stIs[stIRQ2])
+		spUp := b.Or(g.stIs[stRETI1], g.stIs[stRETI2])
+
+		srcBase := b.MuxB(g.srcAbs, g.rfA, zero16)
+		dstBase := b.MuxB(g.dstAbs, g.rfB, zero16)
+		vecBase := b.BusConst(uint64(msp430.IVTStart), 16)
+
+		addA := b.MuxB(inSrc, dstBase, srcBase)
+		addA = b.MuxB(b.Or(spDown, spUp), addA, g.sp)
+		addA = b.MuxB(g.stIs[stIRQ3], addA, vecBase)
+
+		// Indexed/absolute source addressing (As == 1) adds EXT; @Rn and
+		// @Rn+ add 0.
+		srcIdx := b.And(g.as[0], b.Not(g.as[1]))
+		srcOff := b.MuxB(srcIdx, zero16, g.ext.Q)
+		vecOff := b.Ext(builder.Bus{b.Low(), g.irqNumReg.Q[0], g.irqNumReg.Q[1]}, 16)
+
+		addB := b.MuxB(inSrc, g.dext.Q, srcOff)
+		addB = b.MuxB(spDown, addB, b.BusConst(0xFFFE, 16))
+		addB = b.MuxB(spUp, addB, b.BusConst(2, 16))
+		addB = b.MuxB(g.stIs[stIRQ3], addB, vecOff)
+
+		g.addrAdd, _ = b.Add(addA, addB, b.Low())
+
+		// Memory address bus.
+		pcStates := b.Or(g.stIs[stFETCH], g.stIs[stSRCEXT], g.stIs[stDSTEXT])
+		g.mab = b.MuxB(pcStates, g.addrAdd, g.pc)
+		g.mab = b.MuxB(spUp, g.mab, g.sp)
+		g.mab = b.MuxB(b.And(g.stIs[stDSTWR], g.f2Mem), g.mab, g.daddr.Q)
+		g.mab = b.MuxB(g.stIs[stRESET], g.mab, b.BusConst(uint64(msp430.ResetVec), 16))
+
+		// Memory write data. Byte stores replicate the low result byte
+		// onto both lanes; byte pushes store the masked operand as a word.
+		resByte := builder.Cat(g.res.Q[0:8], g.res.Q[0:8])
+		wrData := b.MuxB(b.And(g.stIs[stDSTWR], g.bw), g.res.Q, resByte)
+		pushData := make(builder.Bus, 16)
+		for i := range pushData {
+			if i < 8 {
+				pushData[i] = g.srcVal[i]
+			} else {
+				pushData[i] = b.And(g.srcVal[i], b.Not(g.bw))
+			}
+		}
+		g.mdbOut = b.MuxB(g.stIs[stPUSH1], wrData, pushData)
+		g.mdbOut = b.MuxB(b.Or(g.stIs[stCALL1], g.stIs[stIRQ1]), g.mdbOut, g.pc)
+		g.mdbOut = b.MuxB(g.stIs[stIRQ2], g.mdbOut, g.srFull())
+
+		// Register-file write port W: ALU results and PC loads for
+		// call/return/vector/reset.
+		f2RegWrite := b.And(g.f2RMW, g.srcModeReg)
+		execWrite := b.And(g.stIs[stEXEC], b.Or(b.And(g.opWrites, b.Not(g.dstIsMem)), f2RegWrite))
+		loadPC := b.Or(g.stIs[stCALL2], g.stIs[stRETI2], g.stIs[stIRQ3], g.stIs[stRESET])
+		g.portWEn = b.And(b.Or(execWrite, loadPC), g.cpuEn)
+		g.portWSel = b.AndW(g.dreg, g.stIs[stEXEC])
+		wData := b.MuxB(g.stIs[stCALL2], g.mdbIn, g.srcVal)
+		g.portWData = b.MuxB(g.stIs[stEXEC], wData, g.aluRes)
+
+		// Register-file write port X: PC stepping and jumps,
+		// autoincrement, SP adjustment.
+		pcStep := b.Or(
+			b.And(g.stIs[stFETCH], b.Not(g.irqTake), b.Not(g.sleep)),
+			g.stIs[stSRCEXT], g.stIs[stDSTEXT],
+			b.And(g.stIs[stEXEC], g.jumpTaken),
+		)
+		srcInc := b.And(g.stIs[stSRCRD], g.srcIncEn)
+		spAdj := b.Or(spDown, spUp)
+		g.portXEn = b.And(b.Or(pcStep, srcInc, spAdj), g.cpuEn)
+		selSPorPC := b.MuxB(spAdj, b.BusConst(0, 4), b.BusConst(uint64(msp430.SP), 4))
+		g.portXSel = b.MuxB(srcInc, selSPorPC, g.sreg)
+		g.portXData = b.MuxB(spAdj, g.pcAdd, g.addrAdd)
+
+		// Status register side channels.
+		g.flagWrite = b.And(g.stIs[stEXEC], g.opSetsFlags, g.cpuEn)
+		g.srFromMem = b.And(g.stIs[stRETI1], g.cpuEn)
+		g.srClear = b.And(g.stIs[stIRQ3], g.cpuEn)
+	})
+}

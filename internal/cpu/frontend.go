@@ -1,0 +1,149 @@
+package cpu
+
+import (
+	"bespoke/internal/builder"
+)
+
+// frontendEarly builds the jump-condition evaluation, the PC/increment
+// adder and the interrupt-number latch. The next-state function itself is
+// materialized in nextState (called when the state register is wired),
+// and the memory strobes in frontendLate once the address bus exists.
+func (g *gen) frontendEarly() {
+	b := g.b
+	b.Scope("frontend", func() {
+		// CPUOFF sleep: stall in FETCH until an interrupt wakes the CPU.
+		g.sleep = b.And(g.sr[4], b.Not(g.irqTake))
+
+		// Jump condition: cond = dw[12:10].
+		z, c, n, v := g.sr[1], g.sr[0], g.sr[2], g.sr[8]
+		cond := builder.Bus{g.dw[10], g.dw[11], g.dw[12]}
+		takeIn := []builder.Bus{
+			{b.Not(z)},     // JNE
+			{z},            // JEQ
+			{b.Not(c)},     // JNC
+			{c},            // JC
+			{n},            // JN
+			{b.Xnor(n, v)}, // JGE
+			{b.Xor(n, v)},  // JL
+			{b.High()},     // JMP
+		}
+		g.jumpTaken = b.And(g.isJmp, b.MuxTree(cond, takeIn)[0])
+
+		// Shared PC/autoincrement adder:
+		//   FETCH/SRCEXT/DSTEXT: PC + 2
+		//   EXEC (taken jump):   PC + 2*sext(offset)
+		//   SRCRD (@Rn+):        Rn + (1 or 2)
+		off2 := append(builder.Bus{b.Low()}, b.SignExt(g.dw[0:10], 15)...)
+		incVal := b.MuxB(g.incIsOne, b.BusConst(2, 16), b.BusConst(1, 16))
+		addB := b.MuxB(b.And(g.stIs[stEXEC], g.isJmp), incVal, off2)
+		inSrcRd := g.stIs[stSRCRD]
+		addB = b.MuxB(b.Or(g.stIs[stFETCH], g.stIs[stSRCEXT], g.stIs[stDSTEXT]), addB, b.BusConst(2, 16))
+		addA := b.MuxB(inSrcRd, g.pc, g.rfA)
+		g.pcAdd, _ = b.Add(addA, addB, b.Low())
+
+		// Interrupt number latch: captured when FETCH decides to take.
+		latchEn := b.And(g.stIs[stFETCH], g.irqTake, g.cpuEn)
+		b.SetNextEn(g.irqNumReg, latchEn, g.irqNum)
+	})
+}
+
+// frontendLate builds the memory strobes (they depend on the address bus
+// for byte-lane selection).
+func (g *gen) frontendLate() {
+	b := g.b
+	b.Scope("frontend", func() {
+		// Memory strobes.
+		fetchActive := b.And(g.stIs[stFETCH], b.Not(g.irqTake), b.Not(g.sleep))
+		g.men = b.Or(
+			fetchActive,
+			g.stIs[stSRCEXT], g.stIs[stSRCRD], g.stIs[stDSTEXT], g.stIs[stDSTRD],
+			g.stIs[stDSTWR], g.stIs[stPUSH1], g.stIs[stCALL1],
+			g.stIs[stRETI1], g.stIs[stRETI2],
+			g.stIs[stIRQ1], g.stIs[stIRQ2], g.stIs[stIRQ3], g.stIs[stRESET],
+		)
+		g.mwr = b.And(b.Or(g.stIs[stDSTWR], g.stIs[stPUSH1], g.stIs[stCALL1], g.stIs[stIRQ1], g.stIs[stIRQ2]), g.cpuEn)
+		byteWr := b.And(g.stIs[stDSTWR], g.bw)
+		g.mwrLo = b.And(g.mwr, b.Not(b.And(byteWr, g.mab[0])))
+		g.mwrHi = b.And(g.mwr, b.Not(b.And(byteWr, b.Not(g.mab[0]))))
+	})
+}
+
+// nextState materializes the state-transition function. Its caller wires
+// the state register inside the frontend scope, so the gates created
+// here are already attributed correctly.
+func (g *gen) nextState() builder.Bus {
+	b := g.b
+	st := func(v uint64) builder.Bus { return b.BusConst(v, 4) }
+
+	// Where to go once the source operand is in hand. afterSrc is
+	// built twice: over the fetched word (for the FETCH transition)
+	// and over the instruction register (for later states).
+	afterSrcOf := func(d *decSet) builder.Bus {
+		afterII := b.MuxB(d.f2PUSH, st(stEXEC), st(stPUSH1))
+		afterII = b.MuxB(d.f2CALL, afterII, st(stCALL1))
+		afterII = b.MuxB(d.f2RETI, afterII, st(stRETI1))
+		afterI := b.MuxB(d.dstIsMem, st(stEXEC), st(stDSTEXT))
+		return b.MuxB(d.isFmt2, afterI, afterII)
+	}
+	afterSrc := afterSrcOf(g.decSetMain())
+	afterSrcNx := afterSrcOf(g.nx)
+
+	// FETCH: interrupt > sleep > jump > operand phases > afterSrc.
+	// These decode the word on the memory bus, not the (stale) IR.
+	fromFetch := b.MuxB(g.nx.srcNeedsRead, afterSrcNx, st(stSRCRD))
+	fromFetch = b.MuxB(g.nx.srcNeedsExt, fromFetch, st(stSRCEXT))
+	fromFetch = b.MuxB(g.nx.isJmp, fromFetch, st(stEXEC))
+	fromFetch = b.MuxB(g.sleep, fromFetch, st(stFETCH))
+	fromFetch = b.MuxB(g.irqTake, fromFetch, st(stIRQ1))
+
+	fromSrcExt := b.MuxB(g.srcIsImm, st(stSRCRD), afterSrc)
+	fromDstExt := b.MuxB(g.isMOV, st(stDSTRD), st(stEXEC))
+	needWB := b.Or(b.And(g.opWrites, g.dstIsMem), g.f2Mem)
+	fromExec := b.MuxB(needWB, st(stFETCH), st(stDSTWR))
+
+	nexts := []builder.Bus{
+		stFETCH:  fromFetch,
+		stSRCEXT: fromSrcExt,
+		stSRCRD:  afterSrc,
+		stDSTEXT: fromDstExt,
+		stDSTRD:  st(stEXEC),
+		stEXEC:   fromExec,
+		stDSTWR:  st(stFETCH),
+		stPUSH1:  st(stFETCH),
+		stCALL1:  st(stCALL2),
+		stCALL2:  st(stFETCH),
+		stRETI1:  st(stRETI2),
+		stRETI2:  st(stFETCH),
+		stIRQ1:   st(stIRQ2),
+		stIRQ2:   st(stIRQ3),
+		stIRQ3:   st(stFETCH),
+		stRESET:  st(stFETCH),
+	}
+	return b.MuxTree(g.state.Q, nexts)
+}
+
+// clockModule is the basic clock module: the BCSCTL configuration
+// register and an SMCLK divider whose tick strobe clocks the watchdog.
+// With the divider at its reset value (0) the counter holds and the tick
+// fires every cycle, so applications that never program BCSCTL leave the
+// whole divider untoggled - only clock-configuring applications (tHold)
+// exercise this module, as in the paper's Figure 10.
+//
+// The CPU state machine itself is not gated (cpuEn is constant 1, which
+// folds out of the netlist at elaboration).
+func (g *gen) clockModule() {
+	b := g.b
+	b.Scope("clock_module", func() {
+		g.bcsReg = b.Register("bcsctl", 8, 0)
+		div := g.bcsReg.Q[0:3]
+		divZero := b.IsZero(div)
+		g.divCnt = b.Register("divcnt", 3, 0)
+		atDiv := b.EqB(g.divCnt.Q, div)
+		inc, _ := b.Inc(g.divCnt.Q)
+		hold := b.Or(divZero, atDiv)
+		b.SetNext(g.divCnt, b.MuxB(hold, inc, b.BusConst(0, 3)))
+		g.smclkTick = b.Or(divZero, atDiv)
+		g.cpuEn = b.High()
+		g.c.CPUEn = g.cpuEn
+	})
+}

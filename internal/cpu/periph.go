@@ -1,0 +1,261 @@
+package cpu
+
+import (
+	"bespoke/internal/builder"
+	"bespoke/internal/msp430"
+)
+
+// regWrLanes returns the next value of a peripheral register written via
+// the byte-lane write strobes when sel is addressed.
+func (g *gen) regWrLanes(q builder.Bus, sel builder.Wire) builder.Bus {
+	b := g.b
+	lo := b.And(sel, g.perWrLo)
+	hi := b.And(sel, g.perWrHi)
+	next := make(builder.Bus, len(q))
+	for i := range q {
+		en := lo
+		if i >= 8 {
+			en = hi
+		}
+		next[i] = b.Mux(en, q[i], g.mdbOut[i])
+	}
+	return next
+}
+
+// readGate contributes a register value onto the peripheral read bus.
+// The gating AND cells live in the contributing module (quiet when the
+// register is never read); the OR merge happens in the memory backbone.
+func (g *gen) readGate(val builder.Bus, sel builder.Wire) {
+	b := g.b
+	rd := b.And(sel, g.men)
+	v := b.Ext(val, 16)
+	g.perContrib = append(g.perContrib, b.AndW(v, rd))
+}
+
+// peripherals elaborates the SFR block, watchdog, clock-module register
+// write path, hardware multiplier and debug unit, and drives the
+// peripheral read bus.
+func (g *gen) peripherals() {
+	b := g.b
+
+	b.Scope("sfr", func() {
+		selIE := g.perAddr(msp430.IE1)
+		selIFG := g.perAddr(msp430.IFG)
+		selP1In := g.perAddr(msp430.P1IN)
+		selP1Out := g.perAddr(msp430.P1OUT)
+		selP1Dir := g.perAddr(msp430.P1DIR)
+		selOut := g.perAddr(msp430.OUTPORT)
+
+		b.SetNext(g.ieReg, g.regWrLanes(g.ieReg.Q, selIE))
+
+		// External interrupt lines: two-flop synchronizer plus an edge
+		// detector that latches the corresponding IFG bit.
+		rise := make(builder.Bus, NumIRQ)
+		for i := 0; i < NumIRQ; i++ {
+			s1 := b.Register("irq_s1_"+string(rune('0'+i)), 1, 0)
+			s2 := b.Register("irq_s2_"+string(rune('0'+i)), 1, 0)
+			s3 := b.Register("irq_s3_"+string(rune('0'+i)), 1, 0)
+			b.SetNext(s1, builder.Bus{g.c.IRQ[i]})
+			b.SetNext(s2, s1.Q)
+			b.SetNext(s3, s2.Q)
+			rise[i] = b.And(s2.Q[0], b.Not(s3.Q[0]))
+		}
+		// IFG: software write, hardware set, clear on interrupt accept.
+		takeDec := b.Decode(g.irqNumReg.Q)
+		taking := b.And(g.stIs[stIRQ3], g.cpuEn)
+		ifgWr := g.regWrLanes(g.ifgReg.Q, selIFG)
+		ifgNext := make(builder.Bus, 16)
+		for i := range ifgNext {
+			v := ifgWr[i]
+			if i < NumIRQ {
+				v = b.Or(v, rise[i])
+			}
+			if i < 4 {
+				v = b.And(v, b.Not(b.And(taking, takeDec[i])))
+			}
+			ifgNext[i] = v
+		}
+		b.SetNext(g.ifgReg, ifgNext)
+
+		// P1 port: synchronized input, output and direction registers.
+		p1s1 := b.Register("p1_sync1", 16, 0)
+		p1s2 := b.Register("p1_sync2", 16, 0)
+		b.SetNext(p1s1, g.c.P1In)
+		b.SetNext(p1s2, p1s1.Q)
+		p1out := b.Register("p1out", 16, 0)
+		p1dir := b.Register("p1dir", 16, 0)
+		b.SetNext(p1out, g.regWrLanes(p1out.Q, selP1Out))
+		b.SetNext(p1dir, g.regWrLanes(p1dir.Q, selP1Dir))
+
+		// Output console port: observable write strobe and data.
+		g.outWr = b.And(selOut, g.perWrAny)
+		g.c.OutWr = g.outWr
+		g.c.OutData = g.mdbOut
+		g.c.P1Out = p1out.Q
+		b.Output("out_wr", g.outWr)
+		b.OutputBus("out_data", g.mdbOut)
+		b.OutputBus("p1out", p1out.Q)
+
+		g.readGate(g.ieReg.Q, selIE)
+		g.readGate(g.ifgReg.Q, selIFG)
+		g.readGate(p1s2.Q, selP1In)
+		g.readGate(p1out.Q, selP1Out)
+		g.readGate(p1dir.Q, selP1Dir)
+	})
+
+	b.Scope("watchdog", func() {
+		sel := g.perAddr(msp430.WDTCTL)
+		ctl := b.Register("wdtctl", 8, 0)
+		pwOK := b.And(sel, g.perWrLo, g.perWrHi, b.EqConst(g.mdbOut[8:16], 0x5A))
+		b.SetNextEn(ctl, pwOK, g.mdbOut[0:8])
+		cnt := b.Register("wdtcnt", 16, 0)
+		inc, _ := b.Inc(cnt.Q)
+		// The watchdog counts SMCLK ticks from the clock module.
+		b.SetNextEn(cnt, b.And(b.Not(ctl.Q[7]), g.smclkTick), inc)
+		g.readGate(ctl.Q, sel)
+	})
+
+	b.Scope("clock_module", func() {
+		sel := g.perAddr(msp430.BCSCTL)
+		b.SetNext(g.bcsReg, g.regWrLanes(g.bcsReg.Q, sel))
+		g.readGate(g.bcsReg.Q, sel)
+	})
+
+	g.multiplier()
+	g.dbgUnit()
+
+	// Merge every contribution in the backbone: exactly one is nonzero.
+	b.Scope("mem_backbone", func() {
+		acc := b.BusConst(0, 16)
+		for _, c := range g.perContrib {
+			acc = b.OrB(acc, c)
+		}
+		b.DriveBus(g.perOut, acc)
+	})
+}
+
+// multiplier builds the memory-mapped 16x16 hardware multiplier with
+// unsigned, signed and multiply-accumulate modes, as in the MSP430
+// hardware multiplier peripheral.
+func (g *gen) multiplier() {
+	b := g.b
+	b.Scope("multiplier", func() {
+		selMPY := g.perAddr(msp430.MPY)
+		selMPYS := g.perAddr(msp430.MPYS)
+		selMAC := g.perAddr(msp430.MAC)
+		selOP2 := g.perAddr(msp430.OP2)
+		selLo := g.perAddr(msp430.RESLO)
+		selHi := g.perAddr(msp430.RESHI)
+		selSum := g.perAddr(msp430.SUMEXT)
+
+		op1 := b.Register("op1", 16, 0)
+		op2 := b.Register("op2", 16, 0)
+		mode := b.Register("mode", 2, 0)
+		resLo := b.Register("reslo", 16, 0)
+		resHi := b.Register("reshi", 16, 0)
+		sumExt := b.Register("sumext", 16, 0)
+		goBit := b.Register("go", 1, 0)
+
+		anyOp1 := b.Or(selMPY, selMPYS, selMAC)
+		b.SetNext(op1, g.regWrLanes(op1.Q, anyOp1))
+		wrOp1 := b.And(anyOp1, g.perWrAny)
+		modeVal := b.MuxB(selMPYS, b.MuxB(selMAC, b.BusConst(0, 2), b.BusConst(2, 2)), b.BusConst(1, 2))
+		b.SetNextEn(mode, wrOp1, modeVal)
+
+		b.SetNext(op2, g.regWrLanes(op2.Q, selOP2))
+		wrOp2 := b.And(selOP2, g.perWrAny)
+		b.SetNext(goBit, builder.Bus{wrOp2})
+
+		// Unsigned 16x16 array: shift-add rows.
+		plo, phiU := mult16(b, op1.Q, op2.Q)
+		// Signed correction: subtract op2<<16 when op1 negative and
+		// op1<<16 when op2 negative.
+		t1, _ := b.Sub(phiU, b.MuxB(op1.Q[15], b.BusConst(0, 16), op2.Q))
+		phiS, _ := b.Sub(t1, b.MuxB(op2.Q[15], b.BusConst(0, 16), op1.Q))
+
+		isSigned := b.EqConst(mode.Q, 1)
+		isMac := b.EqConst(mode.Q, 2)
+		phi := b.MuxB(isSigned, phiU, phiS)
+
+		// Accumulate path: {resHi,resLo} + {phiU,plo}.
+		accSum, accC := b.Add(builder.Cat(resLo.Q, resHi.Q), builder.Cat(plo, phiU), b.Low())
+
+		newLo := b.MuxB(isMac, plo, accSum[0:16])
+		newHi := b.MuxB(isMac, phi, accSum[16:32])
+		signExtVal := b.Repeat(phiS[15], 16)
+		macExt := b.Ext(builder.Bus{accC}, 16)
+		newSum := b.MuxB(isMac, b.MuxB(isSigned, b.BusConst(0, 16), signExtVal), macExt)
+
+		// Result registers load on the cycle after an OP2 write and are
+		// also directly software-writable, like the real RESLO/RESHI.
+		en := goBit.Q[0]
+		b.SetNext(resLo, b.MuxB(en, g.regWrLanes(resLo.Q, selLo), newLo))
+		b.SetNext(resHi, b.MuxB(en, g.regWrLanes(resHi.Q, selHi), newHi))
+		b.SetNextEn(sumExt, en, newSum)
+
+		g.readGate(op1.Q, anyOp1)
+		g.readGate(op2.Q, selOP2)
+		g.readGate(resLo.Q, selLo)
+		g.readGate(resHi.Q, selHi)
+		g.readGate(sumExt.Q, selSum)
+	})
+}
+
+// mult16 builds a 16x16 shift-add array multiplier returning the low and
+// high product words.
+func mult16(b *builder.Builder, a, x builder.Bus) (lo, hi builder.Bus) {
+	lo = make(builder.Bus, 16)
+	row := b.AndW(x, a[0])
+	lo[0] = row[0]
+	carry := b.Low()
+	for i := 1; i < 16; i++ {
+		shifted := append(append(builder.Bus{}, row[1:]...), carry)
+		pp := b.AndW(x, a[i])
+		row, carry = b.Add(shifted, pp, b.Low())
+		lo[i] = row[0]
+	}
+	hi = append(append(builder.Bus{}, row[1:]...), carry)
+	return lo, hi
+}
+
+// dbgUnit builds the memory-mapped debug unit: control/breakpoint
+// registers, a PC-match hit counter, an instruction step counter, and
+// four scratch registers (standing in for the openMSP430 serial debug
+// interface's register file).
+func (g *gen) dbgUnit() {
+	b := g.b
+	b.Scope("dbg", func() {
+		selCtl := g.perAddr(msp430.DBGCTL)
+		selBrk := g.perAddr(msp430.DBGDATA)
+		selHits := g.perAddr(msp430.DBGCTL + 4)
+		selSteps := g.perAddr(msp430.DBGCTL + 6)
+
+		ctl := b.Register("dbgctl", 16, 0)
+		brk := b.Register("dbgbrk", 16, 0)
+		hits := b.Register("dbghits", 16, 0)
+		steps := b.Register("dbgsteps", 16, 0)
+		b.SetNext(ctl, g.regWrLanes(ctl.Q, selCtl))
+		b.SetNext(brk, g.regWrLanes(brk.Q, selBrk))
+
+		en := ctl.Q[0]
+		brkEn := ctl.Q[1]
+		instrFetch := b.And(g.stIs[stFETCH], b.Not(g.irqTake), b.Not(g.sleep), g.cpuEn)
+		stepsInc, _ := b.Inc(steps.Q)
+		b.SetNextEn(steps, b.And(en, instrFetch), stepsInc)
+		hit := b.And(en, brkEn, instrFetch, b.EqB(g.pc, brk.Q))
+		hitsInc, _ := b.Inc(hits.Q)
+		b.SetNextEn(hits, hit, hitsInc)
+
+		g.readGate(ctl.Q, selCtl)
+		g.readGate(brk.Q, selBrk)
+		g.readGate(hits.Q, selHits)
+		g.readGate(steps.Q, selSteps)
+
+		for i := 0; i < 4; i++ {
+			sel := g.perAddr(msp430.DBGCTL + 8 + uint16(2*i))
+			r := b.Register("dbg_scratch"+string(rune('0'+i)), 16, 0)
+			b.SetNext(r, g.regWrLanes(r.Q, sel))
+			g.readGate(r.Q, sel)
+		}
+	})
+}

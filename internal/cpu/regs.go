@@ -1,0 +1,144 @@
+package cpu
+
+import (
+	"fmt"
+
+	"bespoke/internal/builder"
+	"bespoke/internal/msp430"
+)
+
+// makeRegisters creates every core flip-flop up front so later stages can
+// read Q values; D inputs are wired at the end of elaboration.
+func (g *gen) makeRegisters() {
+	b := g.b
+	b.Scope("frontend", func() {
+		g.state = b.Register("state", 4, stRESET)
+		g.ir = b.Register("ir", 16, 0)
+		g.irqNumReg = b.Register("irqnum", 2, 0)
+		g.stIs = [16]builder.Wire(b.Decode(g.state.Q))
+	})
+	b.Scope("execution", func() {
+		g.ext = b.Register("ext", 16, 0)
+		g.dext = b.Register("dext", 16, 0)
+		g.srcv = b.Register("srcv", 16, 0)
+		g.dstv = b.Register("dstv", 16, 0)
+		g.res = b.Register("res", 16, 0)
+		g.daddr = b.Register("daddr", 16, 0)
+	})
+	b.Scope("sfr", func() {
+		g.ieReg = b.Register("ie", 16, 0)
+		g.ifgReg = b.Register("ifg", 16, 0)
+		g.c.IEReg = g.ieReg.Q
+		g.c.IFReg = g.ifgReg.Q
+	})
+	b.Scope("register_file", func() {
+		for r := 0; r < 16; r++ {
+			switch r {
+			case int(msp430.CG):
+				// r3 is the constant generator: it has no storage.
+				g.regs[r] = builder.Reg{Q: b.BusConst(0, 16)}
+			case int(msp430.SR):
+				g.regs[r] = b.Register("r2", 9, 0)
+			default:
+				g.regs[r] = b.Register(fmt.Sprintf("r%d", r), 16, 0)
+			}
+		}
+	})
+	g.pc = g.regs[msp430.PC].Q
+	g.sp = g.regs[msp430.SP].Q
+	g.sr = g.regs[msp430.SR].Q
+
+	for r := 0; r < 16; r++ {
+		g.c.Regs[r] = g.regs[r].Q
+	}
+	g.c.State = g.state.Q
+	g.c.IRReg = g.ir.Q
+}
+
+// srFull zero-extends the 9-bit status register to a 16-bit bus.
+func (g *gen) srFull() builder.Bus { return g.b.Ext(g.sr, 16) }
+
+// regFileRead builds the two read ports and the constant-generator value.
+func (g *gen) regFileRead() {
+	b := g.b
+	b.Scope("register_file", func() {
+		banks := make([]builder.Bus, 16)
+		for r := 0; r < 16; r++ {
+			banks[r] = b.Ext(g.regs[r].Q, 16)
+		}
+		g.rfA = b.MuxTree(g.sreg, banks)
+		g.rfB = b.MuxTree(g.dreg, banks)
+	})
+}
+
+// regFileWrite derives each register's next value from the two write
+// ports and the status register's special update paths.
+func (g *gen) regFileWrite() {
+	b := g.b
+	b.Scope("register_file", func() {
+		wDec := b.Decode(g.portWSel)
+		xDec := b.Decode(g.portXSel)
+		for r := 0; r < 16; r++ {
+			if r == int(msp430.CG) {
+				continue // no storage
+			}
+			wEn := b.And(g.portWEn, wDec[r])
+			xEn := b.And(g.portXEn, xDec[r])
+			width := len(g.regs[r].Q)
+			next := b.MuxB(xEn, g.regs[r].Q, g.portXData[:width])
+			next = b.MuxB(wEn, next, g.portWData[:width])
+			if r == int(msp430.SR) {
+				next = g.srSpecial(next)
+			}
+			b.SetNext(g.regs[r], next)
+		}
+	})
+}
+
+// srSpecial layers the status register's extra update sources over the
+// generic write-port value: flag updates from the ALU, restore from the
+// stack on RETI, and clear on interrupt entry.
+func (g *gen) srSpecial(next builder.Bus) builder.Bus {
+	b := g.b
+	// Flag update writes bits C,Z,N,V only.
+	flagged := append(builder.Bus(nil), g.sr...)
+	flagged[0] = g.aluC
+	flagged[1] = g.aluZ
+	flagged[2] = g.aluN
+	flagged[8] = g.aluV
+	// Priority: IRQ clear > RETI restore > port writes > flags > hold.
+	// The generic `next` already encodes port writes > hold, so flag
+	// updates must only apply when no port write targets SR; flagWrite
+	// is only asserted in EXEC for flag-setting ops, and a port write to
+	// SR in EXEC means SR is the destination, which overrides flags
+	// (matching the ISA model where the result write lands last).
+	wDec := b.Decode(g.portWSel)
+	srPortW := b.And(g.portWEn, wDec[msp430.SR])
+	out := b.MuxB(b.And(g.flagWrite, b.Not(srPortW)), next, flagged)
+	out = b.MuxB(g.srFromMem, out, g.mdbIn[:9])
+	out = b.MuxB(g.srClear, out, b.BusConst(0, 9))
+	return out
+}
+
+// wireRegisters connects the D inputs of the frontend and execution
+// registers from the control signals computed during elaboration.
+func (g *gen) wireRegisters() {
+	b := g.b
+	b.Scope("frontend", func() {
+		// State advances when the clock module enables the CPU.
+		b.SetNextEn(g.state, g.cpuEn, g.nextState())
+		irEn := b.And(g.stIs[stFETCH], b.Not(g.irqTake), b.Not(g.sleep), g.cpuEn)
+		b.SetNextEn(g.ir, irEn, g.mdbIn)
+	})
+	b.Scope("execution", func() {
+		b.SetNextEn(g.ext, b.And(g.stIs[stSRCEXT], g.cpuEn), g.mdbIn)
+		b.SetNextEn(g.dext, b.And(g.stIs[stDSTEXT], g.cpuEn), g.mdbIn)
+		srcvEn := b.And(b.Or(b.And(g.stIs[stSRCEXT], g.srcIsImm), g.stIs[stSRCRD]), g.cpuEn)
+		srcvD := b.MuxB(g.stIs[stSRCRD], g.mdbIn, g.memRdVal)
+		b.SetNextEn(g.srcv, srcvEn, srcvD)
+		b.SetNextEn(g.dstv, b.And(g.stIs[stDSTRD], g.cpuEn), g.memRdVal)
+		b.SetNextEn(g.res, b.And(g.stIs[stEXEC], g.cpuEn), g.aluRes)
+		daddrEn := b.And(b.Or(g.stIs[stSRCRD], g.stIs[stDSTRD]), g.cpuEn)
+		b.SetNextEn(g.daddr, daddrEn, g.mab)
+	})
+}

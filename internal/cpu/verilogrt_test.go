@@ -1,0 +1,29 @@
+package cpu
+
+import (
+	"bytes"
+	"testing"
+
+	"bespoke/internal/netlist"
+)
+
+// TestFullCoreVerilogRoundTrip exports the entire microcontroller as
+// structural Verilog and parses it back, requiring identical shape.
+func TestFullCoreVerilogRoundTrip(t *testing.T) {
+	c := Build()
+	var b bytes.Buffer
+	if err := c.N.WriteVerilog(&b, "core"); err != nil {
+		t.Fatal(err)
+	}
+	n2, err := netlist.ReadVerilog(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, s2 := c.N.Stats(), n2.Stats()
+	if s1.Gates != s2.Gates || s1.Dffs != s2.Dffs || s1.Depth != s2.Depth {
+		t.Fatalf("round trip changed the core: %+v -> %+v", s1, s2)
+	}
+	if len(n2.Outputs) != len(c.N.Outputs) {
+		t.Fatalf("outputs %d -> %d", len(c.N.Outputs), len(n2.Outputs))
+	}
+}

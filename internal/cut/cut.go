@@ -1,0 +1,64 @@
+// Package cut implements the paper's cutting and stitching stage: every
+// gate that the input-independent activity analysis proved untoggleable
+// is removed from the netlist, and each of its fanout pins is tied to the
+// gate's constant output value.
+//
+// Gate IDs are stable across cutting: a removed gate becomes a Const0 or
+// Const1 pseudo-cell (which occupies no silicon and consumes no power),
+// so every external reference - memory macro pins, observation nets, the
+// module map - stays valid. The re-synthesis pass of package synth then
+// folds the constants into the surviving logic.
+package cut
+
+import (
+	"fmt"
+
+	"bespoke/internal/logic"
+	"bespoke/internal/netlist"
+)
+
+// Stats summarizes one cutting pass.
+type Stats struct {
+	// Cut is the number of real cells removed (tied to constants).
+	Cut int
+	// Kept is the number of real cells remaining.
+	Kept int
+}
+
+// Apply removes all untoggleable gates from n in place. toggled and
+// constVal come from the activity analysis; constVal must be a concrete
+// 0/1 for every untoggled gate. Primary inputs and constants are never
+// cut. It returns cutting statistics.
+func Apply(n *netlist.Netlist, toggled []bool, constVal []logic.V) (Stats, error) {
+	if len(toggled) != len(n.Gates) || len(constVal) != len(n.Gates) {
+		return Stats{}, fmt.Errorf("cut: analysis arrays do not match netlist size")
+	}
+	var st Stats
+	for i := range n.Gates {
+		g := &n.Gates[i]
+		switch g.Kind {
+		case netlist.Input, netlist.Const0, netlist.Const1:
+			continue
+		}
+		if toggled[i] {
+			st.Kept++
+			continue
+		}
+		var k netlist.Kind
+		switch constVal[i] {
+		case logic.Zero:
+			k = netlist.Const0
+		case logic.One:
+			k = netlist.Const1
+		default:
+			return st, fmt.Errorf("cut: untoggled gate %d (%s %q) has unknown constant", i, g.Kind, g.Name)
+		}
+		// Stitch: the gate becomes the constant itself, so every fanout
+		// pin reads the recorded constant value.
+		g.Kind = k
+		g.In = [3]netlist.GateID{netlist.None, netlist.None, netlist.None}
+		st.Cut++
+	}
+	n.InvalidateDerived()
+	return st, nil
+}

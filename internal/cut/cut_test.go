@@ -1,0 +1,79 @@
+package cut
+
+import (
+	"testing"
+
+	"bespoke/internal/builder"
+	"bespoke/internal/logic"
+	"bespoke/internal/netlist"
+)
+
+func TestApplyCutsUntoggled(t *testing.T) {
+	b := builder.New()
+	in := b.Input("d")
+	keep := b.Not(in)
+	drop := b.And(in, keep)
+	b.Output("o", drop)
+	n := b.N
+
+	toggled := make([]bool, len(n.Gates))
+	constVal := make([]logic.V, len(n.Gates))
+	for i := range toggled {
+		toggled[i] = true
+	}
+	toggled[drop] = false
+	constVal[drop] = logic.One
+
+	st, err := Apply(n, toggled, constVal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cut != 1 {
+		t.Errorf("cut = %d, want 1", st.Cut)
+	}
+	if n.Gates[drop].Kind != netlist.Const1 {
+		t.Errorf("dropped gate kind = %v, want const1 (stitched value)", n.Gates[drop].Kind)
+	}
+	if n.Gates[keep].Kind != netlist.Not {
+		t.Error("kept gate modified")
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyRejectsUnknownConstant(t *testing.T) {
+	b := builder.New()
+	in := b.Input("d")
+	g := b.Not(in)
+	n := b.N
+	toggled := make([]bool, len(n.Gates))
+	constVal := make([]logic.V, len(n.Gates))
+	constVal[g] = logic.X
+	if _, err := Apply(n, toggled, constVal); err == nil {
+		t.Fatal("accepted X constant for an untoggled gate")
+	}
+}
+
+func TestApplyNeverCutsInputsOrConsts(t *testing.T) {
+	b := builder.New()
+	in := b.Input("d")
+	b.Output("o", b.Buf(in))
+	n := b.N
+	toggled := make([]bool, len(n.Gates))     // everything "untoggled"
+	constVal := make([]logic.V, len(n.Gates)) // zeros
+	if _, err := Apply(n, toggled, constVal); err != nil {
+		t.Fatal(err)
+	}
+	if n.Gates[in].Kind != netlist.Input {
+		t.Error("primary input cut")
+	}
+}
+
+func TestApplySizeMismatch(t *testing.T) {
+	b := builder.New()
+	b.Input("d")
+	if _, err := Apply(b.N, []bool{}, []logic.V{}); err == nil {
+		t.Fatal("accepted mismatched arrays")
+	}
+}

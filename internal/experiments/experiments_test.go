@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"bespoke/internal/bench"
+)
+
+// The experiment harness tests run in quick mode (trimmed suite) and
+// assert the paper's qualitative shapes rather than absolute numbers.
+
+func TestTable1(t *testing.T) {
+	var b bytes.Buffer
+	if err := Table1(&b, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "binSearch") {
+		t.Error("missing benchmark row")
+	}
+}
+
+func TestFig2ProfilingShape(t *testing.T) {
+	r, err := Profile(nil2(t, "binSearch"), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 2's headline: a large fraction untoggled, with per-input
+	// variation contained in [Min, Max] around the intersection bar.
+	if r.Intersection < 0.25 || r.Intersection > 0.85 {
+		t.Errorf("intersection %.2f outside plausible band", r.Intersection)
+	}
+	if r.Intersection > r.Min+1e-9 {
+		t.Errorf("intersection %.3f exceeds per-input min %.3f (must be a subset)", r.Intersection, r.Min)
+	}
+	if r.Max < r.Min {
+		t.Error("range inverted")
+	}
+}
+
+func TestFig10VsFig2(t *testing.T) {
+	// Input-independent analysis must be conservative: the toggleable
+	// fraction it reports is at least what any concrete input toggles,
+	// i.e. its untoggled fraction is at most profiling's intersection.
+	prof, err := Profile(nil2(t, "intFilt"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	rows, err := Fig10(&b, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Bench != "intFilt" {
+			continue
+		}
+		untogSym := 1 - r.Fraction
+		if untogSym > prof.Intersection+0.02 {
+			t.Errorf("symbolic untoggled %.3f exceeds profiling intersection %.3f (unsound)",
+				untogSym, prof.Intersection)
+		}
+	}
+}
+
+func TestFig11AndTable2Shapes(t *testing.T) {
+	rows, err := TailorAll(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	Fig11(&b, rows)
+	Table2(&b, rows)
+	out := b.String()
+	if !strings.Contains(out, "AVERAGE") {
+		t.Error("missing average row")
+	}
+	for _, r := range rows {
+		// Paper bands: gate savings 44-88%, area 46-92%, power 37-74%;
+		// we accept a wider band but require the sign and rough scale.
+		if r.GateSavings < 0.25 || r.GateSavings > 0.95 {
+			t.Errorf("%s: gate savings %.2f out of band", r.Bench, r.GateSavings)
+		}
+		if r.PowerSavings < 0.15 {
+			t.Errorf("%s: power savings %.2f too small", r.Bench, r.PowerSavings)
+		}
+		if r.TotalPowerVmin < r.PowerSavings-1e-9 {
+			t.Errorf("%s: Vmin power savings below nominal", r.Bench)
+		}
+		// Multiplier-heavy benchmarks keep the deepest paths and expose
+		// little slack (the paper's mult/FFT/autocorr rows are also the
+		// slack minima); everything else must drop below nominal.
+		if r.Vmin > 1.0 || r.Vmin < 0.4 {
+			t.Errorf("%s: Vmin %.2f out of band", r.Bench, r.Vmin)
+		}
+	}
+}
+
+func TestFig12FineBeatsCoarse(t *testing.T) {
+	rows, err := Fig12(&bytes.Buffer{}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.GateVsCoarse <= 0 {
+			t.Errorf("%s: fine-grained did not beat module-level (%.3f)", r.Bench, r.GateVsCoarse)
+		}
+	}
+}
+
+func TestTable6Static(t *testing.T) {
+	var b bytes.Buffer
+	Table6(&b)
+	if !strings.Contains(b.String(), "MSP430") {
+		t.Error("missing rows")
+	}
+}
+
+// nil2 fetches a benchmark or fails.
+func nil2(t *testing.T, name string) *bench.Benchmark {
+	t.Helper()
+	b := bench.ByName(name)
+	if b == nil {
+		t.Fatalf("no benchmark %q", name)
+	}
+	return b
+}

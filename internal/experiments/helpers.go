@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"bespoke/internal/cells"
+	"bespoke/internal/cpu"
+	"bespoke/internal/cut"
+	"bespoke/internal/layout"
+	"bespoke/internal/netlist"
+	"bespoke/internal/symexec"
+	"bespoke/internal/synth"
+)
+
+// cutUnion builds a fresh core and cuts it per the given analysis.
+func cutUnion(res *symexec.Result) (*cpu.Core, error) {
+	c := cpu.Build()
+	if _, err := cut.Apply(c.N, res.Toggled, res.ConstVal); err != nil {
+		return nil, err
+	}
+	var keep []netlist.GateID
+	keep = append(keep, c.ROM.Inputs()...)
+	keep = append(keep, c.RAM.Inputs()...)
+	synth.Optimize(c.N, keep)
+	return c, nil
+}
+
+// staticMetrics returns (area um^2, workload-independent power uW) for a
+// design: leakage plus the clock network at nominal supply.
+func staticMetrics(c *cpu.Core) (area, powerUW float64) {
+	lib := cells.TSMC65()
+	place := layout.Place(c.N, lib)
+	var leakNW float64
+	dffs := 0
+	for i := range c.N.Gates {
+		k := c.N.Gates[i].Kind
+		switch k {
+		case netlist.Input, netlist.Const0, netlist.Const1:
+			continue
+		}
+		leakNW += lib.ByKind[k].Leakage
+		if k == netlist.Dff {
+			dffs++
+		}
+	}
+	const fHz = 100e6
+	return place.AreaUm2, leakNW*1e-3 + float64(dffs)*1.0*fHz*1e-9
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTable3Quick(t *testing.T) {
+	var b bytes.Buffer
+	reps, err := Table3(&b, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reps {
+		if !r.Equivalent {
+			t.Errorf("%s: bespoke design not equivalent", r.Bench)
+		}
+		if r.Coverage.Lines < 0.7 {
+			t.Errorf("%s: line coverage %.2f", r.Bench, r.Coverage.Lines)
+		}
+	}
+}
+
+func TestFig13Quick(t *testing.T) {
+	var b bytes.Buffer
+	ranges, err := Fig13(&b, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranges) != len(Suite(true)) {
+		t.Fatalf("ranges = %d", len(ranges))
+	}
+	last := ranges[len(ranges)-1]
+	if last.MinGates != last.MaxGates {
+		t.Error("full-suite subset should collapse the interval")
+	}
+}
+
+func TestRunMutantsQuick(t *testing.T) {
+	var b bytes.Buffer
+	studies, err := RunMutants(&b, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(studies) == 0 {
+		t.Fatal("no studies")
+	}
+	for _, s := range studies {
+		if s.NormGates <= 0 || s.NormGates > 1 {
+			t.Errorf("%s: normalized gates %.2f", s.Bench, s.NormGates)
+		}
+		if s.Support.Total == 0 {
+			t.Errorf("%s: no mutants", s.Bench)
+		}
+	}
+	out := b.String()
+	for _, want := range []string{"Table 4", "Table 5", "Figure 14"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %s", want)
+		}
+	}
+}
+
+func TestFig15Quick(t *testing.T) {
+	m, err := Fig15(&bytes.Buffer{}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, frac := range m {
+		if frac <= 0 || frac > 0.30 {
+			t.Errorf("%s: oracle gating %.2f outside plausible band", name, frac)
+		}
+	}
+}
+
+func TestSubnegQuick(t *testing.T) {
+	rows, err := SubnegStudy(&bytes.Buffer{}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.AreaOverhead <= 0 {
+			t.Errorf("%s: subneg support should cost area (%.2f)", r.Bench, r.AreaOverhead)
+		}
+		if r.AreaSavings <= 0.2 {
+			t.Errorf("%s: combined design should remain far below baseline (%.2f)", r.Bench, r.AreaSavings)
+		}
+	}
+}
+
+func TestRunRTOSShape(t *testing.T) {
+	rows, err := RunRTOS(&bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	osOnly := rows[0].Untoggled
+	union := rows[len(rows)-1].Untoggled
+	if osOnly < 0.4 {
+		t.Errorf("OS alone untoggled %.2f, want large", osOnly)
+	}
+	if union >= osOnly {
+		t.Errorf("union (%.2f) must use more gates than OS alone (%.2f)", union, osOnly)
+	}
+	for _, r := range rows[1 : len(rows)-1] {
+		if r.Untoggled > osOnly+1e-9 {
+			t.Errorf("%s untoggled %.2f exceeds OS-only %.2f", r.Config, r.Untoggled, osOnly)
+		}
+	}
+}

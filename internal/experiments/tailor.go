@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"bespoke/internal/asm"
+	"bespoke/internal/bench"
+	"bespoke/internal/core"
+	"bespoke/internal/report"
+)
+
+// SavingsRow is one benchmark's Figure 11 / Table 2 data.
+type SavingsRow struct {
+	Bench        string
+	GateSavings  float64
+	AreaSavings  float64
+	PowerSavings float64
+	// Table 2 columns.
+	SlackFrac        float64
+	Vmin             float64
+	AddlPowerSavings float64 // from voltage scaling alone
+	TotalPowerVmin   float64
+}
+
+// TailorAll runs the full bespoke flow for every benchmark.
+func TailorAll(quick bool) ([]SavingsRow, error) {
+	var rows []SavingsRow
+	for _, b := range Suite(quick) {
+		res, err := core.Tailor(b.MustProg(), b.Workload(1), core.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", b.Name, err)
+		}
+		rows = append(rows, SavingsRow{
+			Bench:            b.Name,
+			GateSavings:      res.GateSavings,
+			AreaSavings:      res.AreaSavings,
+			PowerSavings:     res.PowerSavings,
+			SlackFrac:        res.Bespoke.Timing.SlackFrac,
+			Vmin:             res.Bespoke.Timing.Vmin,
+			AddlPowerSavings: res.PowerSavingsVmin - res.PowerSavings,
+			TotalPowerVmin:   res.PowerSavingsVmin,
+		})
+	}
+	return rows, nil
+}
+
+// Fig11 prints per-benchmark gate/area/power savings of bespoke designs.
+func Fig11(w io.Writer, rows []SavingsRow) {
+	t := report.NewTable("Figure 11: Bespoke savings vs baseline processor",
+		"Benchmark", "Gate savings", "Area savings", "Power savings")
+	var g, a, p float64
+	for _, r := range rows {
+		t.AddRow(r.Bench, report.Pct(r.GateSavings), report.Pct(r.AreaSavings), report.Pct(r.PowerSavings))
+		g += r.GateSavings
+		a += r.AreaSavings
+		p += r.PowerSavings
+	}
+	n := float64(len(rows))
+	t.AddRow("AVERAGE", report.Pct(g/n), report.Pct(a/n), report.Pct(p/n))
+	t.Write(w)
+}
+
+// Table2 prints the timing-slack exploitation study.
+func Table2(w io.Writer, rows []SavingsRow) {
+	t := report.NewTable("Table 2: Exploiting timing slack exposed by cutting",
+		"Benchmark", "Timing slack", "Vmin (V)", "Addl. power savings", "Total power savings")
+	for _, r := range rows {
+		t.AddRow(r.Bench, report.Pct(r.SlackFrac), fmt.Sprintf("%.2f", r.Vmin),
+			report.Pct(r.AddlPowerSavings), report.Pct(r.TotalPowerVmin))
+	}
+	t.Write(w)
+}
+
+// CoarseRow is one benchmark's Figure 12 data: fine-grained bespoke vs
+// module-level removal.
+type CoarseRow struct {
+	Bench                                     string
+	GateVsCoarse, AreaVsCoarse, PowerVsCoarse float64
+}
+
+// Fig12 compares fine-grained bespoke designs against the coarse-grained
+// module-removal baseline.
+func Fig12(w io.Writer, quick bool) ([]CoarseRow, error) {
+	var rows []CoarseRow
+	for _, b := range Suite(quick) {
+		fine, err := core.Tailor(b.MustProg(), b.Workload(1), core.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("%s fine: %w", b.Name, err)
+		}
+		coarse, err := core.TailorCoarse(b.MustProg(), b.Workload(1), core.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("%s coarse: %w", b.Name, err)
+		}
+		rows = append(rows, CoarseRow{
+			Bench:         b.Name,
+			GateVsCoarse:  1 - float64(fine.Bespoke.Gates)/float64(coarse.Bespoke.Gates),
+			AreaVsCoarse:  1 - fine.Bespoke.Power.AreaUm2/coarse.Bespoke.Power.AreaUm2,
+			PowerVsCoarse: 1 - fine.Bespoke.Power.TotalUW/coarse.Bespoke.Power.TotalUW,
+		})
+	}
+	t := report.NewTable("Figure 12: Fine-grained bespoke vs module-level (coarse) bespoke",
+		"Benchmark", "Gate savings", "Area savings", "Power savings")
+	var g, a, p float64
+	for _, r := range rows {
+		t.AddRow(r.Bench, report.Pct(r.GateVsCoarse), report.Pct(r.AreaVsCoarse), report.Pct(r.PowerVsCoarse))
+		g += r.GateVsCoarse
+		a += r.AreaVsCoarse
+		p += r.PowerVsCoarse
+	}
+	n := float64(len(rows))
+	t.AddRow("AVERAGE", report.Pct(g/n), report.Pct(a/n), report.Pct(p/n))
+	t.Write(w)
+	return rows, nil
+}
+
+// SubnegResult is the Section 5.3 Turing-complete update study.
+type SubnegResult struct {
+	Bench                       string
+	AreaOverhead, PowerOverhead float64 // vs the app-only bespoke design
+	AreaSavings, PowerSavings   float64 // vs the baseline processor
+}
+
+// SubnegStudy tailors each benchmark together with the subneg
+// characterization binary (Section 5.3): the resulting processors run
+// the target application natively and can execute arbitrary in-field
+// updates as subneg programs, at some area and power overhead.
+func SubnegStudy(w io.Writer, quick bool) ([]SubnegResult, error) {
+	sn := bench.Subneg()
+	benches := Suite(quick)
+	if quick {
+		benches = benches[:2]
+	}
+	var rows []SubnegResult
+	for _, b := range benches {
+		app, err := core.Tailor(b.MustProg(), b.Workload(1), core.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", b.Name, err)
+		}
+		combined, err := core.TailorMulti(
+			[]*asm.Program{b.MustProg(), sn.MustProg()},
+			[]*core.Workload{b.Workload(1), sn.Workload(1)},
+			core.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("%s+subneg: %w", b.Name, err)
+		}
+		rows = append(rows, SubnegResult{
+			Bench:         b.Name,
+			AreaOverhead:  combined.Bespoke.Power.AreaUm2/app.Bespoke.Power.AreaUm2 - 1,
+			PowerOverhead: combined.Bespoke.Power.TotalUW/app.Bespoke.Power.TotalUW - 1,
+			AreaSavings:   combined.AreaSavings,
+			PowerSavings:  combined.PowerSavings,
+		})
+	}
+	t := report.NewTable("Section 5.3: subneg-enhanced bespoke processors (arbitrary in-field updates)",
+		"Benchmark", "Area overhead", "Power overhead", "Area savings vs base", "Power savings vs base")
+	var ao, po, as, ps float64
+	for _, r := range rows {
+		t.AddRow(r.Bench, report.Pct(r.AreaOverhead), report.Pct(r.PowerOverhead),
+			report.Pct(r.AreaSavings), report.Pct(r.PowerSavings))
+		ao += r.AreaOverhead
+		po += r.PowerOverhead
+		as += r.AreaSavings
+		ps += r.PowerSavings
+	}
+	n := float64(len(rows))
+	t.AddRow("AVERAGE", report.Pct(ao/n), report.Pct(po/n), report.Pct(as/n), report.Pct(ps/n))
+	t.Write(w)
+	return rows, nil
+}

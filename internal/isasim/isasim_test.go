@@ -1,0 +1,415 @@
+package isasim
+
+import (
+	"testing"
+
+	"bespoke/internal/asm"
+	"bespoke/internal/msp430"
+)
+
+// run assembles src, runs to halt, and returns the machine.
+func run(t *testing.T, src string, maxInsts uint64) *Machine {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(p.Bytes, p.Origin)
+	if err := m.Run(maxInsts); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+const prologue = `
+        .org 0xF000
+start:  mov #0x5A80, &WDTCTL
+        mov #STACKTOP, sp
+`
+
+const epilogue = `
+halt:   jmp $
+        .org 0xFFFE
+        .word start
+`
+
+func TestArithmeticAndFlags(t *testing.T) {
+	m := run(t, prologue+`
+        mov #5, r4
+        add #7, r4          ; r4 = 12
+        sub #2, r4          ; r4 = 10
+        mov #0x8000, r5
+        add #0x8000, r5     ; carry + overflow, r5 = 0
+        jc carryok
+        mov #0xBAD, &OUTPORT
+carryok:
+        jeq zok
+        mov #0xBAD2, &OUTPORT
+zok:    mov r4, &OUTPORT
+`+epilogue, 1e5)
+	if len(m.Out) != 1 || m.Out[0] != 10 {
+		t.Fatalf("Out = %v, want [10]", m.Out)
+	}
+}
+
+func TestByteOps(t *testing.T) {
+	m := run(t, prologue+`
+        mov #0x1234, r4
+        mov.b r4, r5        ; r5 = 0x34 (byte read clears high)
+        add.b #0xF0, r5     ; 0x34+0xF0 = 0x124 -> 0x24, carry set
+        jc c1
+        mov #0xBAD, &OUTPORT
+c1:     mov r5, &OUTPORT
+        mov #0x880, r6
+        mov #0xAABB, 0(r6)
+        mov.b #0xCC, 1(r6)  ; high byte of word at 0x204
+        mov @r6, &OUTPORT   ; 0xCCBB
+`+epilogue, 1e5)
+	if len(m.Out) != 2 || m.Out[0] != 0x24 || m.Out[1] != 0xCCBB {
+		t.Fatalf("Out = %#v", m.Out)
+	}
+}
+
+func TestSubCmpFlags(t *testing.T) {
+	m := run(t, prologue+`
+        mov #5, r4
+        cmp #5, r4
+        jeq eq
+        mov #1, &OUTPORT
+eq:     cmp #6, r4          ; 5-6 borrows: C clear
+        jnc nc
+        mov #2, &OUTPORT
+nc:     cmp #-1, r4         ; signed: 5 > -1 -> JGE taken
+        jge ge
+        mov #3, &OUTPORT
+ge:     mov #0x7FFF, r5
+        add #1, r5          ; overflow
+        jn neg
+        mov #4, &OUTPORT
+neg:    mov #0xAA, &OUTPORT
+`+epilogue, 1e5)
+	if len(m.Out) != 1 || m.Out[0] != 0xAA {
+		t.Fatalf("Out = %#v", m.Out)
+	}
+}
+
+func TestLogicOps(t *testing.T) {
+	m := run(t, prologue+`
+        mov #0xF0F0, r4
+        and #0xFF00, r4     ; 0xF000
+        bis #0x000F, r4     ; 0xF00F
+        bic #0x8000, r4     ; 0x700F
+        xor #0x00FF, r4     ; 0x70F0
+        mov r4, &OUTPORT
+        bit #0x0F00, r4
+        jeq zok
+        mov #0xBAD, &OUTPORT
+zok:    mov #1, &OUTPORT
+`+epilogue, 1e5)
+	if len(m.Out) != 2 || m.Out[0] != 0x70F0 || m.Out[1] != 1 {
+		t.Fatalf("Out = %#v", m.Out)
+	}
+}
+
+func TestShiftsAndSwap(t *testing.T) {
+	m := run(t, prologue+`
+        mov #0x8003, r4
+        rra r4              ; 0xC001, C=1
+        mov r4, &OUTPORT
+        setc
+        mov #0x0002, r5
+        rrc r5              ; C in -> 0x8001, C=0
+        mov r5, &OUTPORT
+        swpb r5             ; 0x0180
+        mov r5, &OUTPORT
+        mov #0x0080, r6
+        sxt r6              ; 0xFF80
+        mov r6, &OUTPORT
+`+epilogue, 1e5)
+	want := []uint16{0xC001, 0x8001, 0x0180, 0xFF80}
+	if len(m.Out) != len(want) {
+		t.Fatalf("Out = %#v", m.Out)
+	}
+	for i, w := range want {
+		if m.Out[i] != w {
+			t.Errorf("Out[%d] = %#x, want %#x", i, m.Out[i], w)
+		}
+	}
+}
+
+func TestCallRetStack(t *testing.T) {
+	m := run(t, prologue+`
+        mov #3, r12
+        call #double
+        mov r12, &OUTPORT   ; 6
+        call #double
+        mov r12, &OUTPORT   ; 12
+        jmp halt
+double: add r12, r12
+        ret
+`+epilogue, 1e5)
+	if len(m.Out) != 2 || m.Out[0] != 6 || m.Out[1] != 12 {
+		t.Fatalf("Out = %#v", m.Out)
+	}
+	if m.Regs[msp430.SP] != msp430.RAMEnd+1 {
+		t.Errorf("SP leaked: %#x", m.Regs[msp430.SP])
+	}
+}
+
+func TestPushPop(t *testing.T) {
+	m := run(t, prologue+`
+        mov #0x1111, r4
+        mov #0x2222, r5
+        push r4
+        push r5
+        pop r4              ; r4 = 0x2222
+        pop r5              ; r5 = 0x1111
+        mov r4, &OUTPORT
+        mov r5, &OUTPORT
+`+epilogue, 1e5)
+	if len(m.Out) != 2 || m.Out[0] != 0x2222 || m.Out[1] != 0x1111 {
+		t.Fatalf("Out = %#v", m.Out)
+	}
+}
+
+func TestAutoIncrementLoop(t *testing.T) {
+	m := run(t, prologue+`
+        mov #tab, r4
+        clr r5
+loop:   add @r4+, r5
+        cmp #tabend, r4
+        jne loop
+        mov r5, &OUTPORT
+        jmp halt
+tab:    .word 1, 2, 3, 4, 5
+tabend:
+`+epilogue, 1e5)
+	if len(m.Out) != 1 || m.Out[0] != 15 {
+		t.Fatalf("Out = %#v", m.Out)
+	}
+}
+
+func TestIndexedMemory(t *testing.T) {
+	m := run(t, prologue+`
+        mov #0x900, r4
+        mov #7, 0(r4)
+        mov #9, 2(r4)
+        mov 0(r4), r5
+        add 2(r4), r5
+        mov r5, &OUTPORT
+`+epilogue, 1e5)
+	if len(m.Out) != 1 || m.Out[0] != 16 {
+		t.Fatalf("Out = %#v", m.Out)
+	}
+}
+
+func TestHardwareMultiplier(t *testing.T) {
+	m := run(t, prologue+`
+        mov #1234, &MPY
+        mov #567, &OP2
+        mov &RESLO, &OUTPORT
+        mov &RESHI, &OUTPORT
+        mov #-3, &MPYS      ; signed: -3 * 9 = -27
+        mov #9, &OP2
+        mov &RESLO, &OUTPORT
+        mov &RESHI, &OUTPORT
+        mov &SUMEXT, &OUTPORT
+`+epilogue, 1e5)
+	p := uint32(1234) * 567
+	neg27 := int16(-27)
+	want := []uint16{uint16(p), uint16(p >> 16), uint16(neg27), 0xFFFF, 0xFFFF}
+	if len(m.Out) != len(want) {
+		t.Fatalf("Out = %#v", m.Out)
+	}
+	for i, w := range want {
+		if m.Out[i] != w {
+			t.Errorf("Out[%d] = %#x, want %#x", i, m.Out[i], w)
+		}
+	}
+}
+
+func TestMultiplyAccumulate(t *testing.T) {
+	m := run(t, prologue+`
+        mov #100, &MPY
+        mov #100, &OP2      ; res = 10000
+        mov #50, &MAC
+        mov #2, &OP2        ; res += 100 -> 10100
+        mov &RESLO, &OUTPORT
+`+epilogue, 1e5)
+	if len(m.Out) != 1 || m.Out[0] != 10100 {
+		t.Fatalf("Out = %#v", m.Out)
+	}
+}
+
+func TestDADD(t *testing.T) {
+	m := run(t, prologue+`
+        clrc
+        mov #0x0199, r4
+        dadd #0x0001, r4    ; BCD: 199 + 1 = 200
+        mov r4, &OUTPORT
+        setc
+        mov #0x0999, r5
+        dadd #0x0000, r5    ; BCD: 999 + 0 + carry = 1000
+        mov r5, &OUTPORT
+`+epilogue, 1e5)
+	if len(m.Out) != 2 || m.Out[0] != 0x0200 || m.Out[1] != 0x1000 {
+		t.Fatalf("Out = %#v (want BCD 0x0200, 0x1000)", m.Out)
+	}
+}
+
+func TestInterrupt(t *testing.T) {
+	p := asm.MustAssemble(prologue + `
+        mov #1, &IE1        ; enable irq line 0
+        eint
+        clr r4
+wait:   cmp #1, r4
+        jne wait
+        dint
+        mov #0xD0, &OUTPORT
+        jmp halt
+isr:    mov #1, r4
+        mov #0xCC, &OUTPORT
+        reti
+` + epilogue + `
+        .org 0xFFF6
+        .word isr
+`)
+	m := New(p.Bytes, p.Origin)
+	// Let the main loop spin a little, then pulse the line.
+	for i := 0; i < 10; i++ {
+		if err := m.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.SetIRQ(0, true)
+	m.SetIRQ(0, false)
+	if err := m.Run(1e5); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Out) != 2 || m.Out[0] != 0xCC || m.Out[1] != 0xD0 {
+		t.Fatalf("Out = %#v", m.Out)
+	}
+}
+
+func TestWatchdogPassword(t *testing.T) {
+	m := run(t, `
+        .org 0xF000
+start:  mov #0x1280, &WDTCTL   ; wrong password: ignored
+        mov &WDTCTL, &OUTPORT
+        mov #0x5A80, &WDTCTL   ; correct
+        mov &WDTCTL, &OUTPORT
+`+epilogue, 1e5)
+	if len(m.Out) != 2 || m.Out[0] != 0 || m.Out[1] != 0x80 {
+		t.Fatalf("Out = %#v", m.Out)
+	}
+}
+
+func TestDebugUnit(t *testing.T) {
+	m := run(t, prologue+`
+        mov #target, &DBGDATA
+        mov #3, &DBGCTL     ; enable + breakpoint
+        clr r4
+loop:
+target: inc r4
+        cmp #4, r4
+        jne loop
+        mov &DBGHITS, &OUTPORT
+        mov &DBGSTEPS, &OUTPORT
+        clr &DBGCTL
+`+epilogue, 1e5)
+	if len(m.Out) != 2 {
+		t.Fatalf("Out = %#v", m.Out)
+	}
+	if m.Out[0] != 4 {
+		t.Errorf("breakpoint hits = %d, want 4", m.Out[0])
+	}
+	if m.Out[1] < 10 {
+		t.Errorf("step counter = %d, want >= 10", m.Out[1])
+	}
+}
+
+func TestP1Port(t *testing.T) {
+	p := asm.MustAssemble(prologue + `
+        mov &P1IN, r4
+        add #1, r4
+        mov r4, &P1OUT
+        mov &P1OUT, &OUTPORT
+` + epilogue)
+	m := New(p.Bytes, p.Origin)
+	m.P1In = 0x41
+	if err := m.Run(1e5); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Out) != 1 || m.Out[0] != 0x42 {
+		t.Fatalf("Out = %#v", m.Out)
+	}
+	if m.P1Out != 0x42 {
+		t.Errorf("P1Out = %#x", m.P1Out)
+	}
+}
+
+func TestMovAutoIncSameReg(t *testing.T) {
+	// mov @r4+, r4: increment happens, then the loaded value wins.
+	m := run(t, prologue+`
+        mov #tab, r4
+        mov @r4+, r4
+        mov r4, &OUTPORT
+        jmp halt
+tab:    .word 0x7777
+`+epilogue, 1e5)
+	if len(m.Out) != 1 || m.Out[0] != 0x7777 {
+		t.Fatalf("Out = %#v", m.Out)
+	}
+}
+
+func TestROMWriteIgnored(t *testing.T) {
+	m := run(t, prologue+`
+        mov #0xDEAD, &0xF800   ; ROM: ignored
+        mov &0xF800, &OUTPORT  ; reads whatever ROM holds (0)
+`+epilogue, 1e5)
+	if len(m.Out) != 1 || m.Out[0] == 0xDEAD {
+		t.Fatalf("ROM write stuck: %#v", m.Out)
+	}
+}
+
+func TestHaltDetection(t *testing.T) {
+	m := run(t, prologue+epilogue, 1e5)
+	if !m.Halted {
+		t.Fatal("not halted")
+	}
+	if err := m.Step(); err != ErrHalted {
+		t.Fatalf("Step after halt = %v", err)
+	}
+}
+
+func TestRunTimeout(t *testing.T) {
+	p := asm.MustAssemble(`
+        .org 0xF000
+start:  eint                 ; GIE set: self-jump is not a halt...
+        mov #1, &IE1         ; ...because irq0 could still fire
+spin:   jmp spin
+        .org 0xFFFE
+        .word start
+`)
+	m := New(p.Bytes, p.Origin)
+	if err := m.Run(1000); err == nil {
+		t.Fatal("expected timeout error for non-halting program")
+	}
+}
+
+func TestByteAutoIncrementBy1(t *testing.T) {
+	m := run(t, prologue+`
+        mov #tab, r4
+        clr r5
+        mov #4, r6
+bl:     add.b @r4+, r5
+        dec r6
+        jne bl
+        mov r5, &OUTPORT
+        jmp halt
+tab:    .byte 1, 2, 3, 4
+`+epilogue, 1e5)
+	if len(m.Out) != 1 || m.Out[0] != 10 {
+		t.Fatalf("Out = %#v", m.Out)
+	}
+}

@@ -1,0 +1,212 @@
+package isasim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bespoke/internal/asm"
+	"bespoke/internal/msp430"
+)
+
+// The properties below check ALU semantics against an independent
+// reference implementation (written directly from the MSP430 family
+// user's guide flag rules), by assembling tiny programs that set up
+// operands, execute one instruction, and dump the result and SR.
+
+// refFlags computes (C,Z,N,V) for an add of a+b+carry at the given width.
+func refAddFlags(a, b uint16, carry bool, byteOp bool) (r uint16, c, z, n, v bool) {
+	width := uint(16)
+	if byteOp {
+		width = 8
+		a &= 0xFF
+		b &= 0xFF
+	}
+	mask := uint32(1)<<width - 1
+	msb := uint32(1) << (width - 1)
+	sum := uint32(a) + uint32(b)
+	if carry {
+		sum++
+	}
+	r = uint16(sum & mask)
+	c = sum > mask
+	z = uint32(r) == 0
+	n = uint32(r)&msb != 0
+	v = (uint32(a)&msb == uint32(b)&msb) && (uint32(r)&msb != uint32(a)&msb)
+	return
+}
+
+// execOne runs a single-instruction probe and returns (result, SR).
+func execOne(t *testing.T, setup string) (uint16, uint16) {
+	t.Helper()
+	src := `
+        .org 0xE000
+start:  mov #0x5A80, &WDTCTL
+        mov #STACKTOP, sp
+` + setup + `
+        mov r10, &OUTPORT
+        mov r2, &OUTPORT
+        dint
+        jmp $
+        .org 0xFFFE
+        .word start
+`
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("%v in:\n%s", err, src)
+	}
+	m := New(p.Bytes, p.Origin)
+	if err := m.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Out) != 2 {
+		t.Fatalf("out = %v", m.Out)
+	}
+	return m.Out[0], m.Out[1]
+}
+
+func flagsOf(sr uint16) (c, z, n, v bool) {
+	return sr&msp430.FlagC != 0, sr&msp430.FlagZ != 0, sr&msp430.FlagN != 0, sr&msp430.FlagV != 0
+}
+
+func TestAddFlagsProperty(t *testing.T) {
+	f := func(a, b uint16, byteOp bool) bool {
+		suffix := ""
+		if byteOp {
+			suffix = ".b"
+		}
+		setup := "        clrc\n"
+		setup += "        mov #" + hex(b) + ", r10\n"
+		setup += "        add" + suffix + " #" + hex(a) + ", r10\n"
+		got, sr := execOne(t, setup)
+		wantR, wc, wz, wn, wv := refAddFlags(a, b, false, byteOp)
+		c, z, n, v := flagsOf(sr)
+		return got == wantR && c == wc && z == wz && n == wn && v == wv
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubIsAddOfComplement(t *testing.T) {
+	f := func(a, b uint16) bool {
+		setup := "        mov #" + hex(b) + ", r10\n"
+		setup += "        sub #" + hex(a) + ", r10\n"
+		got, sr := execOne(t, setup)
+		wantR, wc, wz, wn, wv := refAddFlags(^a, b, true, false)
+		c, z, n, v := flagsOf(sr)
+		return got == wantR && c == wc && z == wz && n == wn && v == wv
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCmpLeavesDst(t *testing.T) {
+	f := func(a, b uint16) bool {
+		setup := "        mov #" + hex(b) + ", r10\n"
+		setup += "        cmp #" + hex(a) + ", r10\n"
+		got, sr := execOne(t, setup)
+		_, wc, wz, wn, wv := refAddFlags(^a, b, true, false)
+		c, z, n, v := flagsOf(sr)
+		return got == b && c == wc && z == wz && n == wn && v == wv
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogicFlagsProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		// AND: C = result nonzero, V = 0.
+		setup := "        mov #" + hex(b) + ", r10\n"
+		setup += "        and #" + hex(a) + ", r10\n"
+		got, sr := execOne(t, setup)
+		r := a & b
+		c, z, n, v := flagsOf(sr)
+		return got == r && c == (r != 0) && z == (r == 0) && n == (r&0x8000 != 0) && !v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestXorOverflowProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		setup := "        mov #" + hex(b) + ", r10\n"
+		setup += "        xor #" + hex(a) + ", r10\n"
+		got, sr := execOne(t, setup)
+		r := a ^ b
+		_, _, _, v := flagsOf(sr)
+		// V set iff both operands negative.
+		return got == r && v == (a&0x8000 != 0 && b&0x8000 != 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSwpbRraRoundTrips(t *testing.T) {
+	f := func(b uint16) bool {
+		// swpb twice is the identity.
+		setup := "        mov #" + hex(b) + ", r10\n        swpb r10\n        swpb r10\n"
+		got, _ := execOne(t, setup)
+		if got != b {
+			return false
+		}
+		// rra is an arithmetic shift right.
+		setup = "        mov #" + hex(b) + ", r10\n        rra r10\n"
+		got, _ = execOne(t, setup)
+		want := b>>1 | b&0x8000
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDaddMatchesBCD(t *testing.T) {
+	f := func(a, b uint16) bool {
+		// Constrain to valid BCD digits.
+		a, b = toBCD(a), toBCD(b)
+		setup := "        clrc\n        mov #" + hex(b) + ", r10\n"
+		setup += "        dadd #" + hex(a) + ", r10\n"
+		got, sr := execOne(t, setup)
+		want, carry := bcdAdd(a, b)
+		c, _, _, _ := flagsOf(sr)
+		return got == want && c == carry
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func toBCD(v uint16) uint16 {
+	var out uint16
+	for d := 0; d < 4; d++ {
+		out |= (v >> (4 * d) % 10 & 0xF) << (4 * d)
+	}
+	return out
+}
+
+func bcdAdd(a, b uint16) (uint16, bool) {
+	carry := uint16(0)
+	var out uint16
+	for d := 0; d < 4; d++ {
+		s := a>>(4*uint(d))&0xF + b>>(4*uint(d))&0xF + carry
+		if s >= 10 {
+			s -= 10
+			carry = 1
+		} else {
+			carry = 0
+		}
+		out |= s << (4 * uint(d))
+	}
+	return out, carry == 1
+}
+
+func hex(v uint16) string {
+	const digits = "0123456789abcdef"
+	return "0x" + string([]byte{
+		digits[v>>12&0xF], digits[v>>8&0xF], digits[v>>4&0xF], digits[v&0xF],
+	})
+}

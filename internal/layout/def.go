@@ -1,0 +1,48 @@
+package layout
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+
+	"bespoke/internal/netlist"
+)
+
+// WriteDEF emits the placement in a DEF-like format (the flow's stand-in
+// for the paper's "Bespoke GDSII file" hand-off): die area, then one
+// PLACED component per cell with its coordinates in DEF database units
+// (nanometres here).
+func (r *Result) WriteDEF(w io.Writer, n *netlist.Netlist, design string) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "VERSION 5.8 ;\nDESIGN %s ;\nUNITS DISTANCE MICRONS 1000 ;\n", design)
+	side := int(1000 * sqrtArea(r))
+	fmt.Fprintf(bw, "DIEAREA ( 0 0 ) ( %d %d ) ;\n", side, side)
+	fmt.Fprintf(bw, "COMPONENTS %d ;\n", r.placedCount(n))
+	for i := range n.Gates {
+		k := n.Gates[i].Kind
+		switch k {
+		case netlist.Input, netlist.Const0, netlist.Const1:
+			continue
+		}
+		fmt.Fprintf(bw, "- g%d BESPOKE_%s + PLACED ( %d %d ) N ;\n",
+			i, k, int(1000*r.X[i]), int(1000*r.Y[i]))
+	}
+	fmt.Fprintln(bw, "END COMPONENTS")
+	fmt.Fprintln(bw, "END DESIGN")
+	return bw.Flush()
+}
+
+func (r *Result) placedCount(n *netlist.Netlist) int {
+	c := 0
+	for i := range n.Gates {
+		switch n.Gates[i].Kind {
+		case netlist.Input, netlist.Const0, netlist.Const1:
+		default:
+			c++
+		}
+	}
+	return c
+}
+
+func sqrtArea(r *Result) float64 { return math.Sqrt(r.AreaUm2) }

@@ -1,0 +1,167 @@
+// Package layout is the flow's stand-in for place and route: it places
+// cells on a row grid, estimates per-net wirelength (half-perimeter of
+// the net's bounding box), and derives die area. Wire capacitance feeds
+// the power model and wire delay feeds static timing, so the physical
+// shrink of a bespoke design (shorter wires, less load) is reflected in
+// its reported power and slack, as in the paper's EDI-based flow.
+package layout
+
+import (
+	"math"
+	"sort"
+
+	"bespoke/internal/cells"
+	"bespoke/internal/netlist"
+)
+
+// Result describes a placed design.
+type Result struct {
+	// CellAreaUm2 is the summed standard-cell area.
+	CellAreaUm2 float64
+	// AreaUm2 is the die area at the target utilization.
+	AreaUm2 float64
+	// Utilization is the placement density used.
+	Utilization float64
+	// WireLenUm[g] estimates the routed length of the net driven by
+	// gate g (0 for unplaced pseudo-cells).
+	WireLenUm []float64
+	// TotalWireUm is the summed wirelength.
+	TotalWireUm float64
+	// X, Y hold each placed cell's coordinates in micrometres (zero for
+	// pseudo-cells).
+	X, Y []float64
+}
+
+// WireCapFF returns the routing capacitance of the net driven by g.
+func (r *Result) WireCapFF(lib *cells.Library, g netlist.GateID) float64 {
+	return r.WireLenUm[g] * lib.WireCapPerUm
+}
+
+// WireDelayPs returns the routing delay of the net driven by g.
+func (r *Result) WireDelayPs(lib *cells.Library, g netlist.GateID) float64 {
+	return r.WireLenUm[g] * lib.WireDelayPerUm
+}
+
+const defaultUtilization = 0.7
+
+// Place performs the toy placement. It is deterministic: an initial
+// topological ordering packs connected logic together, then a few
+// centroid-refinement passes shorten nets.
+func Place(n *netlist.Netlist, lib *cells.Library) *Result {
+	r := &Result{
+		Utilization: defaultUtilization,
+		WireLenUm:   make([]float64, len(n.Gates)),
+		X:           make([]float64, len(n.Gates)),
+		Y:           make([]float64, len(n.Gates)),
+	}
+
+	// Real cells to place.
+	var cellsToPlace []netlist.GateID
+	for i := range n.Gates {
+		k := n.Gates[i].Kind
+		switch k {
+		case netlist.Input, netlist.Const0, netlist.Const1:
+			continue
+		}
+		r.CellAreaUm2 += lib.ByKind[k].Area
+		cellsToPlace = append(cellsToPlace, netlist.GateID(i))
+	}
+	if len(cellsToPlace) == 0 {
+		return r
+	}
+	r.AreaUm2 = r.CellAreaUm2 / r.Utilization
+	side := math.Sqrt(r.AreaUm2)
+	cols := int(math.Ceil(math.Sqrt(float64(len(cellsToPlace)))))
+	pitch := side / float64(cols)
+
+	// Initial order: topological (levelized) order keeps fanin cones
+	// adjacent; DFFs and sources first.
+	lv, _, err := n.Levels()
+	if err != nil {
+		lv = make([]int32, len(n.Gates))
+	}
+	sort.SliceStable(cellsToPlace, func(a, b int) bool { return lv[cellsToPlace[a]] < lv[cellsToPlace[b]] })
+
+	type pt struct{ x, y float64 }
+	pos := make(map[netlist.GateID]pt, len(cellsToPlace))
+	assign := func(order []netlist.GateID) {
+		for i, id := range order {
+			pos[id] = pt{
+				x: (float64(i%cols) + 0.5) * pitch,
+				y: (float64(i/cols) + 0.5) * pitch,
+			}
+		}
+	}
+	assign(cellsToPlace)
+
+	fanout := n.Fanout()
+	neighbors := func(id netlist.GateID, f func(netlist.GateID)) {
+		g := &n.Gates[id]
+		ni := g.Kind.NumInputs()
+		for p := 0; p < ni; p++ {
+			if in := g.In[p]; in != netlist.None {
+				f(in)
+			}
+		}
+		for _, fo := range fanout[id] {
+			f(fo)
+		}
+	}
+
+	// Centroid refinement: move each cell toward the average position of
+	// its neighbors, then re-legalize by sorting back onto the grid.
+	for pass := 0; pass < 3; pass++ {
+		desired := make(map[netlist.GateID]pt, len(cellsToPlace))
+		for _, id := range cellsToPlace {
+			var sx, sy float64
+			cnt := 0
+			neighbors(id, func(nb netlist.GateID) {
+				if p, ok := pos[nb]; ok {
+					sx += p.x
+					sy += p.y
+					cnt++
+				}
+			})
+			if cnt == 0 {
+				desired[id] = pos[id]
+			} else {
+				desired[id] = pt{sx / float64(cnt), sy / float64(cnt)}
+			}
+		}
+		sort.SliceStable(cellsToPlace, func(a, b int) bool {
+			da, db := desired[cellsToPlace[a]], desired[cellsToPlace[b]]
+			if da.y != db.y {
+				return da.y < db.y
+			}
+			return da.x < db.x
+		})
+		assign(cellsToPlace)
+	}
+
+	for id, p := range pos {
+		r.X[id], r.Y[id] = p.x, p.y
+	}
+
+	// Half-perimeter wirelength per net.
+	for _, id := range cellsToPlace {
+		if len(fanout[id]) == 0 {
+			continue
+		}
+		p := pos[id]
+		minX, maxX, minY, maxY := p.x, p.x, p.y, p.y
+		for _, fo := range fanout[id] {
+			q, ok := pos[fo]
+			if !ok {
+				continue
+			}
+			minX = math.Min(minX, q.x)
+			maxX = math.Max(maxX, q.x)
+			minY = math.Min(minY, q.y)
+			maxY = math.Max(maxY, q.y)
+		}
+		l := (maxX - minX) + (maxY - minY)
+		r.WireLenUm[id] = l
+		r.TotalWireUm += l
+	}
+	return r
+}

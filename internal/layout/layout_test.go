@@ -1,0 +1,112 @@
+package layout
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"bespoke/internal/builder"
+	"bespoke/internal/cells"
+	"bespoke/internal/netlist"
+)
+
+func buildBlob(nGates int) *builder.Builder {
+	b := builder.New()
+	in := b.InputBus("in", 16)
+	w := in
+	for len(w) > 0 && nGates > 0 {
+		w = b.XorB(w, b.NotB(w))
+		nGates -= 32
+	}
+	b.OutputBus("o", w)
+	return b
+}
+
+func TestPlaceBasics(t *testing.T) {
+	b := buildBlob(256)
+	lib := cells.TSMC65()
+	r := Place(b.N, lib)
+	if r.CellAreaUm2 <= 0 || r.AreaUm2 <= r.CellAreaUm2 {
+		t.Errorf("areas: cell %v, die %v", r.CellAreaUm2, r.AreaUm2)
+	}
+	if got := r.CellAreaUm2 / r.AreaUm2; got < r.Utilization-0.01 || got > r.Utilization+0.01 {
+		t.Errorf("utilization = %v, want %v", got, r.Utilization)
+	}
+	if r.TotalWireUm <= 0 {
+		t.Error("no wirelength")
+	}
+}
+
+func TestSmallerDesignShorterWires(t *testing.T) {
+	lib := cells.TSMC65()
+	big := Place(buildBlob(2048).N, lib)
+	small := Place(buildBlob(128).N, lib)
+	if small.AreaUm2 >= big.AreaUm2 {
+		t.Errorf("areas: small %v, big %v", small.AreaUm2, big.AreaUm2)
+	}
+	if small.TotalWireUm >= big.TotalWireUm {
+		t.Errorf("wire: small %v, big %v", small.TotalWireUm, big.TotalWireUm)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	lib := cells.TSMC65()
+	a := Place(buildBlob(512).N, lib)
+	b := Place(buildBlob(512).N, lib)
+	if a.TotalWireUm != b.TotalWireUm || a.AreaUm2 != b.AreaUm2 {
+		t.Error("placement not deterministic")
+	}
+}
+
+func TestWireModels(t *testing.T) {
+	lib := cells.TSMC65()
+	b := buildBlob(128)
+	r := Place(b.N, lib)
+	for i := range b.N.Gates {
+		if r.WireLenUm[i] > 0 {
+			if r.WireCapFF(lib, netlist.GateID(i)) <= 0 || r.WireDelayPs(lib, netlist.GateID(i)) <= 0 {
+				t.Fatal("wire cap/delay zero for routed net")
+			}
+			return
+		}
+	}
+	t.Fatal("no routed nets")
+}
+
+func TestWriteDEF(t *testing.T) {
+	lib := cells.TSMC65()
+	b := buildBlob(128)
+	r := Place(b.N, lib)
+	var buf bytes.Buffer
+	if err := r.WriteDEF(&buf, b.N, "blob"); err != nil {
+		t.Fatal(err)
+	}
+	def := buf.String()
+	for _, want := range []string{"DESIGN blob ;", "DIEAREA", "PLACED", "END COMPONENTS"} {
+		if !strings.Contains(def, want) {
+			t.Errorf("DEF missing %q", want)
+		}
+	}
+	if got := strings.Count(def, "+ PLACED"); got != b.N.CellCount() {
+		t.Errorf("placed %d components, want %d", got, b.N.CellCount())
+	}
+}
+
+func TestPositionsWithinDie(t *testing.T) {
+	lib := cells.TSMC65()
+	b := buildBlob(256)
+	r := Place(b.N, lib)
+	side := 0.0
+	for s := 1.0; s*s < r.AreaUm2*1.21; s *= 1.1 {
+		side = s * 1.1
+	}
+	for i := range b.N.Gates {
+		k := b.N.Gates[i].Kind
+		if k == netlist.Input || k == netlist.Const0 || k == netlist.Const1 {
+			continue
+		}
+		if r.X[i] < 0 || r.Y[i] < 0 || r.X[i] > side || r.Y[i] > side {
+			t.Fatalf("cell %d at (%.1f, %.1f) outside die (~%.1f)", i, r.X[i], r.Y[i], side)
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package logic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNot(t *testing.T) {
+	cases := []struct{ in, want V }{{Zero, One}, {One, Zero}, {X, X}}
+	for _, c := range cases {
+		if got := Not(c.in); got != c.want {
+			t.Errorf("Not(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestBinaryTables(t *testing.T) {
+	type row struct{ a, b, and, or, xor V }
+	rows := []row{
+		{Zero, Zero, Zero, Zero, Zero},
+		{Zero, One, Zero, One, One},
+		{One, Zero, Zero, One, One},
+		{One, One, One, One, Zero},
+		{Zero, X, Zero, X, X},
+		{One, X, X, One, X},
+		{X, Zero, Zero, X, X},
+		{X, One, X, One, X},
+		{X, X, X, X, X},
+	}
+	for _, r := range rows {
+		if got := And(r.a, r.b); got != r.and {
+			t.Errorf("And(%v,%v) = %v, want %v", r.a, r.b, got, r.and)
+		}
+		if got := Or(r.a, r.b); got != r.or {
+			t.Errorf("Or(%v,%v) = %v, want %v", r.a, r.b, got, r.or)
+		}
+		if got := Xor(r.a, r.b); got != r.xor {
+			t.Errorf("Xor(%v,%v) = %v, want %v", r.a, r.b, got, r.xor)
+		}
+	}
+}
+
+func TestMux(t *testing.T) {
+	if got := Mux(Zero, One, Zero); got != One {
+		t.Errorf("Mux(0,1,0) = %v", got)
+	}
+	if got := Mux(One, One, Zero); got != Zero {
+		t.Errorf("Mux(1,1,0) = %v", got)
+	}
+	if got := Mux(X, One, One); got != One {
+		t.Errorf("Mux(x,1,1) = %v, want 1 (inputs agree)", got)
+	}
+	if got := Mux(X, One, Zero); got != X {
+		t.Errorf("Mux(x,1,0) = %v, want x", got)
+	}
+	if got := Mux(X, X, X); got != X {
+		t.Errorf("Mux(x,x,x) = %v, want x", got)
+	}
+}
+
+// allV enumerates the whole domain.
+var allV = []V{Zero, One, X}
+
+// concretizations returns the set of booleans an abstract value may take.
+func concretizations(v V) []bool {
+	switch v {
+	case Zero:
+		return []bool{false}
+	case One:
+		return []bool{true}
+	}
+	return []bool{false, true}
+}
+
+// TestSoundness exhaustively checks that every 3-valued operator
+// over-approximates its Boolean counterpart: for every concretization of
+// the inputs, the Boolean result is covered by the abstract result.
+func TestSoundness(t *testing.T) {
+	ops := []struct {
+		name string
+		abs  func(a, b V) V
+		conc func(a, b bool) bool
+	}{
+		{"And", And, func(a, b bool) bool { return a && b }},
+		{"Or", Or, func(a, b bool) bool { return a || b }},
+		{"Xor", Xor, func(a, b bool) bool { return a != b }},
+	}
+	for _, op := range ops {
+		for _, a := range allV {
+			for _, b := range allV {
+				got := op.abs(a, b)
+				for _, ca := range concretizations(a) {
+					for _, cb := range concretizations(b) {
+						want := FromBool(op.conc(ca, cb))
+						if !Covers(got, want) {
+							t.Errorf("%s(%v,%v)=%v does not cover concrete %v", op.name, a, b, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+	// Mux soundness.
+	for _, s := range allV {
+		for _, a := range allV {
+			for _, b := range allV {
+				got := Mux(s, a, b)
+				for _, cs := range concretizations(s) {
+					for _, ca := range concretizations(a) {
+						for _, cb := range concretizations(b) {
+							want := ca
+							if cs {
+								want = cb
+							}
+							if !Covers(got, FromBool(want)) {
+								t.Errorf("Mux(%v,%v,%v)=%v does not cover %v", s, a, b, got, want)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMergeCovers(t *testing.T) {
+	for _, a := range allV {
+		for _, b := range allV {
+			m := Merge(a, b)
+			if !Covers(m, a) || !Covers(m, b) {
+				t.Errorf("Merge(%v,%v)=%v does not cover both", a, b, m)
+			}
+			if a == b && m != a {
+				t.Errorf("Merge(%v,%v)=%v, want %v", a, b, m, a)
+			}
+		}
+	}
+}
+
+func TestWordBasics(t *testing.T) {
+	w := KnownWord(0xABCD)
+	if !w.Known() {
+		t.Fatal("KnownWord not known")
+	}
+	for i := uint(0); i < 16; i++ {
+		want := V(uint16(0xABCD) >> i & 1)
+		if got := w.Bit(i); got != want {
+			t.Errorf("bit %d = %v, want %v", i, got, want)
+		}
+	}
+	w = w.SetBit(3, X)
+	if w.Known() {
+		t.Error("word with X bit reports Known")
+	}
+	if w.Bit(3) != X {
+		t.Error("SetBit X failed")
+	}
+	w = w.SetBit(3, One)
+	if w.Bit(3) != One || w.Mask != 0 {
+		t.Error("SetBit One failed to clear mask")
+	}
+}
+
+func TestWordMergeCoversProperties(t *testing.T) {
+	f := func(v1, m1, v2, m2 uint16) bool {
+		a := Word{Val: v1 &^ m1, Mask: m1}
+		b := Word{Val: v2 &^ m2, Mask: m2}
+		m := a.Merge(b)
+		if !m.Covers(a) || !m.Covers(b) {
+			return false
+		}
+		// Merge is commutative.
+		if m != b.Merge(a) {
+			return false
+		}
+		// Merge is idempotent.
+		if m != m.Merge(m) {
+			return false
+		}
+		// Covers is reflexive.
+		return a.Covers(a) && b.Covers(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWordCoversAgreesWithBits(t *testing.T) {
+	f := func(v1, m1, v2, m2 uint16) bool {
+		a := Word{Val: v1 &^ m1, Mask: m1}
+		b := Word{Val: v2 &^ m2, Mask: m2}
+		want := true
+		for i := uint(0); i < 16; i++ {
+			if !Covers(a.Bit(i), b.Bit(i)) {
+				want = false
+				break
+			}
+		}
+		return a.Covers(b) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestXWord(t *testing.T) {
+	for i := uint(0); i < 16; i++ {
+		if XWord.Bit(i) != X {
+			t.Fatalf("XWord bit %d not X", i)
+		}
+	}
+	if XWord.String() != "xxxxxxxxxxxxxxxx" {
+		t.Errorf("XWord.String() = %q", XWord.String())
+	}
+}
+
+func TestWordString(t *testing.T) {
+	w := KnownWord(0x8001).SetBit(7, X)
+	if got, want := w.String(), "10000000x0000001"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestBoolPanicsOnX(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Bool(X) did not panic")
+		}
+	}()
+	_ = X.Bool()
+}

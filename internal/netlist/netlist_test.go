@@ -1,0 +1,175 @@
+package netlist
+
+import (
+	"testing"
+
+	"bespoke/internal/logic"
+)
+
+func TestKindNumInputs(t *testing.T) {
+	cases := map[Kind]int{
+		Const0: 0, Const1: 0, Input: 0,
+		Buf: 1, Not: 1, Dff: 1,
+		And: 2, Or: 2, Nand: 2, Nor: 2, Xor: 2, Xnor: 2,
+		Mux: 3,
+	}
+	for k, want := range cases {
+		if got := k.NumInputs(); got != want {
+			t.Errorf("%v.NumInputs() = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestEvalMatchesLogic(t *testing.T) {
+	vals := []logic.V{logic.Zero, logic.One, logic.X}
+	for _, a := range vals {
+		for _, b := range vals {
+			if got, want := Nand.Eval(a, b, 0), logic.Not(logic.And(a, b)); got != want {
+				t.Errorf("Nand(%v,%v) = %v, want %v", a, b, got, want)
+			}
+			if got, want := Nor.Eval(a, b, 0), logic.Not(logic.Or(a, b)); got != want {
+				t.Errorf("Nor(%v,%v) = %v, want %v", a, b, got, want)
+			}
+			if got, want := Xnor.Eval(a, b, 0), logic.Not(logic.Xor(a, b)); got != want {
+				t.Errorf("Xnor(%v,%v) = %v, want %v", a, b, got, want)
+			}
+		}
+	}
+	if Const0.Eval(logic.X, logic.X, logic.X) != logic.Zero {
+		t.Error("Const0 eval")
+	}
+	if Const1.Eval(logic.X, logic.X, logic.X) != logic.One {
+		t.Error("Const1 eval")
+	}
+}
+
+// build a tiny netlist: in -> not -> and(in, not) -> dff -> out
+func tiny() (*Netlist, GateID, GateID, GateID, GateID) {
+	n := New()
+	in := n.Add(Gate{Kind: Input, Name: "in"})
+	inv := n.Add(Gate{Kind: Not, In: [3]GateID{in, None, None}})
+	and := n.Add(Gate{Kind: And, In: [3]GateID{in, inv, None}})
+	ff := n.Add(Gate{Kind: Dff, In: [3]GateID{and, None, None}, Reset: logic.Zero})
+	n.MarkOutput("q", ff)
+	return n, in, inv, and, ff
+}
+
+func TestValidateOK(t *testing.T) {
+	n, _, _, _, _ := tiny()
+	if err := n.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateCatchesUnconnected(t *testing.T) {
+	n := New()
+	n.Add(Gate{Kind: Not, In: [3]GateID{None, None, None}})
+	if err := n.Validate(); err == nil {
+		t.Fatal("Validate accepted unconnected input pin")
+	}
+}
+
+func TestValidateCatchesCycle(t *testing.T) {
+	n := New()
+	// a and b feed each other combinationally.
+	a := n.Add(Gate{Kind: Buf, In: [3]GateID{0, None, None}})
+	b := n.Add(Gate{Kind: Buf, In: [3]GateID{a, None, None}})
+	n.Gates[a].In[0] = b
+	if err := n.Validate(); err == nil {
+		t.Fatal("Validate accepted combinational cycle")
+	}
+}
+
+func TestDffBreaksCycle(t *testing.T) {
+	n := New()
+	ff := n.Add(Gate{Kind: Dff, Reset: logic.Zero})
+	inv := n.Add(Gate{Kind: Not, In: [3]GateID{ff, None, None}})
+	n.Gates[ff].In[0] = inv // toggle flop: classic feedback through DFF
+	if err := n.Validate(); err != nil {
+		t.Fatalf("DFF feedback loop rejected: %v", err)
+	}
+}
+
+func TestLevels(t *testing.T) {
+	n, in, inv, and, ff := tiny()
+	lv, max, err := n.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lv[in] != 0 || lv[ff] != 0 {
+		t.Errorf("sources not level 0: in=%d ff=%d", lv[in], lv[ff])
+	}
+	if lv[inv] != 1 || lv[and] != 2 {
+		t.Errorf("levels inv=%d and=%d, want 1,2", lv[inv], lv[and])
+	}
+	if max != 2 {
+		t.Errorf("max level = %d, want 2", max)
+	}
+}
+
+func TestTopoOrder(t *testing.T) {
+	n, _, inv, and, _ := tiny()
+	order, err := n.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[GateID]int{}
+	for i, id := range order {
+		pos[id] = i
+	}
+	if pos[inv] > pos[and] {
+		t.Error("TopoOrder places and before its input inv")
+	}
+}
+
+func TestFanout(t *testing.T) {
+	n, in, inv, and, ff := tiny()
+	fo := n.Fanout()
+	if len(fo[in]) != 2 {
+		t.Errorf("fanout(in) = %v, want [inv and]", fo[in])
+	}
+	if len(fo[and]) != 1 || fo[and][0] != ff {
+		t.Errorf("fanout(and) = %v, want [ff]", fo[and])
+	}
+	_ = inv
+}
+
+func TestGatesByModule(t *testing.T) {
+	n := New()
+	alu := n.AddModule("alu")
+	sub := n.AddModule("alu/adder")
+	in := n.Add(Gate{Kind: Input})
+	n.Add(Gate{Kind: Not, In: [3]GateID{in, None, None}, Module: alu})
+	n.Add(Gate{Kind: Buf, In: [3]GateID{in, None, None}, Module: sub})
+	n.Add(Gate{Kind: Buf, In: [3]GateID{in, None, None}}) // root -> glue
+	m := n.GatesByModule()
+	if len(m["alu"]) != 2 {
+		t.Errorf("alu group = %v, want 2 gates (nested module rolls up)", m["alu"])
+	}
+	if len(m["glue"]) != 1 {
+		t.Errorf("glue group = %v, want 1 gate", m["glue"])
+	}
+}
+
+func TestStatsAndClone(t *testing.T) {
+	n, _, _, _, _ := tiny()
+	s := n.Stats()
+	if s.Gates != 3 || s.Dffs != 1 || s.Comb != 2 || s.Depth != 2 {
+		t.Errorf("Stats = %+v", s)
+	}
+	c := n.Clone()
+	c.Add(Gate{Kind: Input})
+	if len(c.Gates) == len(n.Gates) {
+		t.Error("Clone shares gate storage")
+	}
+}
+
+func TestAddNormalizesUnusedPins(t *testing.T) {
+	n := New()
+	id := n.Add(Gate{Kind: Input}) // In defaults to zeros
+	for p := 0; p < 3; p++ {
+		if n.Gates[id].In[p] != None {
+			t.Fatalf("pin %d not normalized to None", p)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package power
+
+import (
+	"testing"
+
+	"bespoke/internal/builder"
+	"bespoke/internal/cells"
+	"bespoke/internal/layout"
+)
+
+// toggler builds n inverter pairs behind registers.
+func toggler(nRegs int) (*builder.Builder, int) {
+	b := builder.New()
+	for i := 0; i < nRegs; i++ {
+		r := b.Register("r", 1, 0)
+		b.SetNext(r, builder.Bus{b.Not(r.Q[0])})
+		b.Output("o", r.Q[0])
+	}
+	return b, 2 * nRegs
+}
+
+func analyzeToggler(t *testing.T, nRegs int, active bool, vdd float64) Report {
+	t.Helper()
+	b, _ := toggler(nRegs)
+	lib := cells.TSMC65()
+	place := layout.Place(b.N, lib)
+	toggles := make([]uint64, len(b.N.Gates))
+	if active {
+		for i := range toggles {
+			toggles[i] = 1000
+		}
+	}
+	return Analyze(b.N, lib, place, toggles, 1000, 100e6, vdd)
+}
+
+func TestComponentsPositive(t *testing.T) {
+	rep := analyzeToggler(t, 32, true, 1.0)
+	if rep.DynamicUW <= 0 || rep.ClockUW <= 0 || rep.LeakUW <= 0 {
+		t.Errorf("components: %+v", rep)
+	}
+	if rep.TotalUW != rep.DynamicUW+rep.ClockUW+rep.LeakUW {
+		t.Error("total is not the sum of components")
+	}
+	if rep.Dffs != 32 {
+		t.Errorf("dffs = %d", rep.Dffs)
+	}
+}
+
+func TestIdleDesignStillBurnsClockAndLeakage(t *testing.T) {
+	rep := analyzeToggler(t, 32, false, 1.0)
+	if rep.DynamicUW != 0 {
+		t.Errorf("idle dynamic = %v", rep.DynamicUW)
+	}
+	if rep.ClockUW <= 0 || rep.LeakUW <= 0 {
+		t.Error("idle design must still burn clock and leakage power")
+	}
+}
+
+func TestFewerDffsLessClockPower(t *testing.T) {
+	big := analyzeToggler(t, 64, false, 1.0)
+	small := analyzeToggler(t, 8, false, 1.0)
+	if small.ClockUW >= big.ClockUW {
+		t.Errorf("clock power: small %v, big %v", small.ClockUW, big.ClockUW)
+	}
+}
+
+func TestVoltageScaling(t *testing.T) {
+	nom := analyzeToggler(t, 32, true, 1.0)
+	low := analyzeToggler(t, 32, true, 0.8)
+	if low.DynamicUW >= nom.DynamicUW*0.66 {
+		t.Errorf("dynamic at 0.8V = %v, want about 0.64x of %v", low.DynamicUW, nom.DynamicUW)
+	}
+	if low.LeakUW >= nom.LeakUW*0.5 {
+		t.Errorf("leakage at 0.8V = %v vs %v", low.LeakUW, nom.LeakUW)
+	}
+	if low.TotalUW >= nom.TotalUW {
+		t.Error("lower supply did not lower power")
+	}
+}
+
+func TestZeroCyclesSafe(t *testing.T) {
+	b, _ := toggler(4)
+	lib := cells.TSMC65()
+	place := layout.Place(b.N, lib)
+	rep := Analyze(b.N, lib, place, make([]uint64, len(b.N.Gates)), 0, 100e6, 1.0)
+	if rep.TotalUW <= 0 {
+		t.Error("zero-cycle analysis should still report static power")
+	}
+}

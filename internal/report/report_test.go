@@ -1,0 +1,52 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tab := NewTable("Title", "Name", "Value")
+	tab.Add("short", 1)
+	tab.Add("a-much-longer-name", 123.456)
+	out := tab.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "Title" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "=====") {
+		t.Errorf("underline = %q", lines[1])
+	}
+	// Header and separator equal length; data rows aligned under headers.
+	if len(lines[2]) == 0 || len(lines[3]) < len(lines[2])-1 {
+		t.Errorf("separator misaligned:\n%s", out)
+	}
+	if !strings.Contains(out, "123.5") {
+		t.Errorf("float not formatted to one decimal:\n%s", out)
+	}
+	valCol := strings.Index(lines[2], "Value")
+	for _, row := range lines[4:] {
+		if len(row) <= valCol {
+			t.Errorf("row %q shorter than value column", row)
+		}
+	}
+}
+
+func TestBarClamps(t *testing.T) {
+	var b strings.Builder
+	Bar(&b, "x", 1.7, 10)
+	Bar(&b, "y", -0.5, 10)
+	out := b.String()
+	if !strings.Contains(out, "##########") {
+		t.Error("overfull bar not clamped to full")
+	}
+	if !strings.Contains(out, "..........") {
+		t.Error("negative bar not clamped to empty")
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.1234); got != "12.3%" {
+		t.Errorf("Pct = %q", got)
+	}
+}

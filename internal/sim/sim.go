@@ -1,0 +1,479 @@
+// Package sim is a levelized, event-driven, three-valued gate-level
+// simulator. It is the single execution engine behind everything in the
+// flow: concrete input-based simulation (power activity, verification)
+// and the X-based input-independent gate activity analysis both run here;
+// the only difference is whether primary inputs are driven with concrete
+// values or with X.
+//
+// A cycle has two phases: Settle propagates pending changes through the
+// combinational network in topological-level order (each gate evaluates
+// at most once per settle), then Edge clocks every flip-flop and
+// behavioral block. Memory arrays and other macros are modeled as Blocks:
+// combinational read paths evaluated in level order like gates, with
+// state committed at the clock edge.
+package sim
+
+import (
+	"fmt"
+
+	"bespoke/internal/logic"
+	"bespoke/internal/netlist"
+)
+
+// Block is a behavioral macro (RAM, ROM) attached to the netlist. Its
+// Outputs must be netlist Input-kind gates reserved for the block; its
+// Inputs are arbitrary nets it combinationally depends on.
+type Block interface {
+	// Inputs returns the nets whose values the block reads during Eval
+	// and Clock.
+	Inputs() []netlist.GateID
+	// Outputs returns the Input-kind gates the block drives.
+	Outputs() []netlist.GateID
+	// Eval recomputes outputs from current input values; called during
+	// settle whenever an input changed. Use Sim.Val and Sim.drive.
+	Eval(s *Sim)
+	// Clock commits sequential state from settled input values.
+	Clock(s *Sim)
+	// Reset restores power-on state.
+	Reset(s *Sim)
+	// Snapshot captures the block's architectural state.
+	Snapshot() BlockState
+	// Restore reinstates a previously captured state.
+	Restore(BlockState)
+}
+
+// BlockState is an opaque, immutable snapshot of a block's state that the
+// symbolic engine can compare and merge conservatively.
+type BlockState interface {
+	// Covers reports whether this state is at least as conservative as o.
+	Covers(o BlockState) bool
+	// Merge returns the most conservative state covering both.
+	Merge(o BlockState) BlockState
+}
+
+// Sim simulates one netlist plus its blocks.
+type Sim struct {
+	N *netlist.Netlist
+	// Val is the current value of every net.
+	Val []logic.V
+	// Active records, per gate, whether the gate has possibly toggled
+	// since the last ResetActivity: its value changed or was X.
+	Active []bool
+	// ToggleCount counts concrete 0<->1 output transitions per gate
+	// since the last ResetToggleCounts; used for dynamic power.
+	ToggleCount []uint64
+	// Tag optionally groups gates (e.g. by module); when set, any value
+	// change on a gate marks TagTouched[Tag[gate]]. The observer owns
+	// clearing TagTouched (typically once per cycle). Used by the
+	// power-gating oracle to find cycles where a whole module is idle.
+	Tag        []int32
+	TagTouched []bool
+	// Cycle is the number of clock edges since Reset.
+	Cycle uint64
+
+	blocks []Block
+	// blockSubs[g] lists blocks subscribed to changes of net g.
+	blockSubs [][]int32
+
+	levels   []int32
+	maxLevel int32
+	fanout   [][]netlist.GateID
+
+	// pending event queue, bucketed by level.
+	buckets    [][]netlist.GateID
+	inQueue    []bool
+	blockDirty []bool
+	blockAtLvl [][]int32 // blocks to evaluate at a given level
+
+	dffs      []netlist.GateID
+	edgeStage []staged
+
+	resetting bool
+}
+
+// New builds a simulator for n with the given behavioral blocks. It
+// levelizes the combinational network including block read paths and
+// returns an error on combinational cycles.
+func New(n *netlist.Netlist, blocks ...Block) (*Sim, error) {
+	s := &Sim{
+		N:           n,
+		Val:         make([]logic.V, len(n.Gates)),
+		Active:      make([]bool, len(n.Gates)),
+		ToggleCount: make([]uint64, len(n.Gates)),
+		blocks:      blocks,
+		blockSubs:   make([][]int32, len(n.Gates)),
+		inQueue:     make([]bool, len(n.Gates)),
+		blockDirty:  make([]bool, len(blocks)),
+		fanout:      n.Fanout(),
+		dffs:        n.DffIDs(),
+	}
+	for i := range s.Val {
+		s.Val[i] = logic.X
+	}
+	for bi, b := range blocks {
+		for _, in := range b.Inputs() {
+			s.blockSubs[in] = append(s.blockSubs[in], int32(bi))
+		}
+		for _, out := range b.Outputs() {
+			if n.Gates[out].Kind != netlist.Input {
+				return nil, fmt.Errorf("sim: block %d output gate %d is %s, want input", bi, out, n.Gates[out].Kind)
+			}
+		}
+	}
+	if err := s.levelize(); err != nil {
+		return nil, err
+	}
+	s.buckets = make([][]netlist.GateID, s.maxLevel+2)
+	s.blockAtLvl = make([][]int32, s.maxLevel+2)
+	for bi, b := range blocks {
+		lvl := int32(0)
+		for _, in := range b.Inputs() {
+			if s.levels[in] >= lvl {
+				lvl = s.levels[in]
+			}
+		}
+		// Evaluate the block after its highest input level settles.
+		s.blockAtLvl[lvl] = append(s.blockAtLvl[lvl], int32(bi))
+	}
+	return s, nil
+}
+
+// levelize assigns topological levels over the combinational graph
+// augmented with block input->output edges.
+func (s *Sim) levelize() error {
+	n := s.N
+	nG := len(n.Gates)
+	// Build augmented in-degree over combinational edges only.
+	blockOut := make([]int32, nG) // block index+1 driving this input gate
+	for bi, b := range s.blocks {
+		for _, out := range b.Outputs() {
+			blockOut[out] = int32(bi) + 1
+		}
+	}
+	isSource := func(id netlist.GateID) bool {
+		g := &n.Gates[id]
+		if g.Kind.IsSeq() {
+			return true
+		}
+		if g.Kind == netlist.Input {
+			return blockOut[id] == 0
+		}
+		return g.Kind.NumInputs() == 0
+	}
+	// preds returns combinational predecessors of id.
+	preds := func(id netlist.GateID, f func(netlist.GateID)) {
+		g := &n.Gates[id]
+		if g.Kind == netlist.Input {
+			if bi := blockOut[id]; bi != 0 {
+				for _, in := range s.blocks[bi-1].Inputs() {
+					f(in)
+				}
+			}
+			return
+		}
+		ni := g.Kind.NumInputs()
+		for p := 0; p < ni; p++ {
+			f(g.In[p])
+		}
+	}
+	lv := make([]int32, nG)
+	state := make([]uint8, nG)
+	type frame struct {
+		id   netlist.GateID
+		pred []netlist.GateID
+		i    int
+	}
+	predList := func(id netlist.GateID) []netlist.GateID {
+		var ps []netlist.GateID
+		preds(id, func(p netlist.GateID) { ps = append(ps, p) })
+		return ps
+	}
+	var stack []frame
+	for root := 0; root < nG; root++ {
+		if state[root] != 0 {
+			continue
+		}
+		stack = append(stack[:0], frame{id: netlist.GateID(root)})
+		state[root] = 1
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if isSource(f.id) {
+				lv[f.id] = 0
+				state[f.id] = 2
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			if f.pred == nil {
+				f.pred = predList(f.id)
+			}
+			if f.i < len(f.pred) {
+				p := f.pred[f.i]
+				f.i++
+				switch state[p] {
+				case 0:
+					state[p] = 1
+					stack = append(stack, frame{id: p})
+				case 1:
+					return fmt.Errorf("sim: combinational cycle through gate %d (%s %q)", p, s.N.Gates[p].Kind, s.N.Gates[p].Name)
+				}
+				continue
+			}
+			var m int32 = -1
+			for _, p := range f.pred {
+				// DFF predecessors are level-0 sources and impose no
+				// ordering; block-driven inputs carry their real level.
+				if state[p] == 2 && lv[p] > m && !s.N.Gates[p].Kind.IsSeq() {
+					m = lv[p]
+				}
+			}
+			lv[f.id] = m + 1
+			if lv[f.id] > s.maxLevel {
+				s.maxLevel = lv[f.id]
+			}
+			state[f.id] = 2
+			stack = stack[:len(stack)-1]
+		}
+	}
+	s.levels = lv
+	return nil
+}
+
+// drive sets the value of net id, recording activity and scheduling
+// fanout. It is the only mutation point for net values.
+func (s *Sim) drive(id netlist.GateID, v logic.V) {
+	old := s.Val[id]
+	if v == old {
+		return
+	}
+	s.Val[id] = v
+	if old != logic.X && v != logic.X {
+		s.ToggleCount[id]++
+	}
+	s.Active[id] = true
+	if s.Tag != nil {
+		s.TagTouched[s.Tag[id]] = true
+	}
+	s.schedule(id)
+}
+
+// schedule enqueues the fanout of id and notifies subscribed blocks.
+func (s *Sim) schedule(id netlist.GateID) {
+	for _, fo := range s.fanout[id] {
+		g := &s.N.Gates[fo]
+		if g.Kind.IsSeq() {
+			continue // DFF D pins are sampled at the edge, not propagated
+		}
+		if !s.inQueue[fo] {
+			s.inQueue[fo] = true
+			s.buckets[s.levels[fo]] = append(s.buckets[s.levels[fo]], fo)
+		}
+	}
+	for _, bi := range s.blockSubs[id] {
+		s.blockDirty[bi] = true
+	}
+}
+
+// Drive sets a primary input to v (testbench use).
+func (s *Sim) Drive(id netlist.GateID, v logic.V) {
+	if s.N.Gates[id].Kind != netlist.Input {
+		panic("sim: Drive on non-input gate")
+	}
+	s.drive(id, v)
+}
+
+// DriveBus sets a bus of primary inputs from a three-valued word.
+func (s *Sim) DriveBus(bus []netlist.GateID, w logic.Word) {
+	for i, id := range bus {
+		s.Drive(id, w.Bit(uint(i)))
+	}
+}
+
+// Settle propagates all pending changes until the combinational network
+// is stable. Levels are processed in ascending order; each gate and each
+// block evaluates at most once.
+func (s *Sim) Settle() {
+	for lvl := int32(0); lvl <= s.maxLevel+1; lvl++ {
+		if int(lvl) < len(s.buckets) {
+			bucket := s.buckets[lvl]
+			for i := 0; i < len(bucket); i++ {
+				id := bucket[i]
+				s.inQueue[id] = false
+				g := &s.N.Gates[id]
+				var a, b2, sel logic.V
+				switch g.Kind.NumInputs() {
+				case 3:
+					sel = s.Val[g.In[2]]
+					fallthrough
+				case 2:
+					b2 = s.Val[g.In[1]]
+					fallthrough
+				case 1:
+					a = s.Val[g.In[0]]
+				}
+				s.drive(id, g.Kind.Eval(a, b2, sel))
+			}
+			s.buckets[lvl] = bucket[:0]
+		}
+		if int(lvl) < len(s.blockAtLvl) {
+			for _, bi := range s.blockAtLvl[lvl] {
+				if s.blockDirty[bi] {
+					s.blockDirty[bi] = false
+					s.blocks[bi].Eval(s)
+				}
+			}
+		}
+	}
+}
+
+// BlockDrive is used by Block implementations to drive their output gates
+// during Eval.
+func (s *Sim) BlockDrive(id netlist.GateID, v logic.V) { s.drive(id, v) }
+
+// Edge applies one rising clock edge: every DFF captures its D input
+// (or its reset value while resetting) and blocks commit state. Changed
+// DFF outputs are scheduled for the next Settle.
+func (s *Sim) Edge() {
+	// Sample all D inputs first (DFF semantics: old values everywhere).
+	for _, id := range s.dffs {
+		g := &s.N.Gates[id]
+		var next logic.V
+		if s.resetting {
+			next = g.Reset
+		} else {
+			next = s.Val[g.In[0]]
+		}
+		if next != s.Val[id] {
+			// Defer the actual update so DFF-to-DFF paths are race-free:
+			// stash in inQueue-free staging via buckets trick below.
+			s.edgeStage = append(s.edgeStage, staged{id, next})
+		}
+	}
+	for _, st := range s.edgeStage {
+		s.drive(st.id, st.v)
+	}
+	s.edgeStage = s.edgeStage[:0]
+	if !s.resetting {
+		for _, b := range s.blocks {
+			b.Clock(s)
+		}
+	}
+	// Committed block state can change read data: re-evaluate all blocks
+	// on the next settle.
+	for i := range s.blockDirty {
+		s.blockDirty[i] = true
+	}
+	s.Cycle++
+}
+
+type staged struct {
+	id netlist.GateID
+	v  logic.V
+}
+
+// Step runs one full cycle: settle then clock edge.
+func (s *Sim) Step() {
+	s.Settle()
+	s.Edge()
+}
+
+// Reset initializes all nets to X, resets blocks, then holds reset for
+// two cycles so every flip-flop assumes its reset value, and settles.
+// This mirrors Algorithm 1 lines 2-4.
+func (s *Sim) Reset() {
+	for i := range s.Val {
+		s.Val[i] = logic.X
+	}
+	for i := range s.inQueue {
+		s.inQueue[i] = false
+	}
+	for i := range s.buckets {
+		s.buckets[i] = s.buckets[i][:0]
+	}
+	for _, b := range s.blocks {
+		b.Reset(s)
+	}
+	// All gates need evaluation: schedule everything once.
+	for i := range s.N.Gates {
+		id := netlist.GateID(i)
+		k := s.N.Gates[i].Kind
+		if !k.IsSeq() && k.NumInputs() > 0 {
+			s.inQueue[id] = true
+			s.buckets[s.levels[id]] = append(s.buckets[s.levels[id]], id)
+		}
+		switch k {
+		case netlist.Const0:
+			s.Val[id] = logic.Zero
+		case netlist.Const1:
+			s.Val[id] = logic.One
+		}
+	}
+	for i := range s.blockDirty {
+		s.blockDirty[i] = true
+	}
+	s.resetting = true
+	s.Step()
+	s.Step()
+	s.resetting = false
+	s.Settle()
+	s.Cycle = 0
+}
+
+// ResetActivity clears the possibly-toggled flags, then re-marks every
+// gate whose current value is X (an X-valued gate can always toggle).
+// Call after Reset, per Algorithm 1 line 8.
+func (s *Sim) ResetActivity() {
+	for i := range s.Active {
+		s.Active[i] = s.Val[i] == logic.X
+	}
+}
+
+// ResetToggleCounts zeroes the concrete toggle counters.
+func (s *Sim) ResetToggleCounts() {
+	for i := range s.ToggleCount {
+		s.ToggleCount[i] = 0
+	}
+}
+
+// ForceDff overrides the state of flip-flop id to v (symbolic-execution
+// forking) and schedules downstream recomputation.
+func (s *Sim) ForceDff(id netlist.GateID, v logic.V) {
+	if !s.N.Gates[id].Kind.IsSeq() {
+		panic("sim: ForceDff on non-DFF")
+	}
+	s.drive(id, v)
+}
+
+// ReadBus assembles a three-valued word from up to 16 nets.
+func (s *Sim) ReadBus(bus []netlist.GateID) logic.Word {
+	var w logic.Word
+	for i, id := range bus {
+		w = w.SetBit(uint(i), s.Val[id])
+	}
+	return w
+}
+
+// DffSnapshot captures the values of all flip-flops in DffIDs order.
+func (s *Sim) DffSnapshot() []logic.V {
+	out := make([]logic.V, len(s.dffs))
+	for i, id := range s.dffs {
+		out[i] = s.Val[id]
+	}
+	return out
+}
+
+// RestoreDffs sets all flip-flop values from a snapshot and schedules
+// recomputation of downstream logic.
+func (s *Sim) RestoreDffs(vals []logic.V) {
+	if len(vals) != len(s.dffs) {
+		panic("sim: snapshot length mismatch")
+	}
+	for i, id := range s.dffs {
+		s.drive(id, vals[i])
+	}
+}
+
+// Dffs exposes the flip-flop ID ordering used by DffSnapshot.
+func (s *Sim) Dffs() []netlist.GateID { return s.dffs }
+
+// Blocks returns the attached behavioral blocks.
+func (s *Sim) Blocks() []Block { return s.blocks }

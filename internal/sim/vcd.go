@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"bespoke/internal/logic"
+	"bespoke/internal/netlist"
+)
+
+// VCD streams selected nets of a running simulation into a Value Change
+// Dump file (the standard waveform interchange format), so bespoke runs
+// can be inspected in any waveform viewer. Attach it to a Sim, call
+// Sample once per cycle after Settle, and Close at the end.
+type VCD struct {
+	w      *bufio.Writer
+	sim    *Sim
+	nets   []netlist.GateID
+	ids    []string
+	last   []logic.V
+	time   uint64
+	header bool
+	err    error
+}
+
+// NewVCD creates a dumper for the given nets. Names come from the
+// netlist (unnamed nets dump as n<id>).
+func NewVCD(w io.Writer, s *Sim, nets []netlist.GateID) *VCD {
+	v := &VCD{w: bufio.NewWriter(w), sim: s, nets: nets}
+	v.ids = make([]string, len(nets))
+	v.last = make([]logic.V, len(nets))
+	for i := range nets {
+		v.ids[i] = vcdID(i)
+		v.last[i] = 0xFF // force first emission
+	}
+	return v
+}
+
+// vcdID produces the compact printable identifiers VCD uses.
+func vcdID(i int) string {
+	const alpha = "!\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	if i < len(alpha) {
+		return string(alpha[i])
+	}
+	return string(alpha[i%len(alpha)]) + vcdID(i/len(alpha)-1)
+}
+
+func (v *VCD) writeHeader() {
+	fmt.Fprintln(v.w, "$timescale 10ns $end")
+	fmt.Fprintln(v.w, "$scope module bespoke $end")
+	for i, id := range v.nets {
+		name := v.sim.N.Gates[id].Name
+		if name == "" {
+			name = fmt.Sprintf("n%d", id)
+		}
+		fmt.Fprintf(v.w, "$var wire 1 %s %s $end\n", v.ids[i], sanitizeVCD(name))
+	}
+	fmt.Fprintln(v.w, "$upscope $end")
+	fmt.Fprintln(v.w, "$enddefinitions $end")
+	v.header = true
+}
+
+func sanitizeVCD(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '[' || c == ']':
+			out = append(out, c)
+		case c == ' ' || c == '/':
+			out = append(out, '_')
+		default:
+			out = append(out, c)
+		}
+	}
+	return string(out)
+}
+
+// Sample records the current values; call once per clock cycle.
+func (v *VCD) Sample() {
+	if !v.header {
+		v.writeHeader()
+	}
+	wroteTime := false
+	for i, id := range v.nets {
+		val := v.sim.Val[id]
+		if val == v.last[i] {
+			continue
+		}
+		if !wroteTime {
+			fmt.Fprintf(v.w, "#%d\n", v.time)
+			wroteTime = true
+		}
+		v.last[i] = val
+		ch := byte('x')
+		switch val {
+		case logic.Zero:
+			ch = '0'
+		case logic.One:
+			ch = '1'
+		}
+		fmt.Fprintf(v.w, "%c%s\n", ch, v.ids[i])
+	}
+	v.time++
+}
+
+// Close flushes the dump.
+func (v *VCD) Close() error {
+	if err := v.w.Flush(); err != nil {
+		return err
+	}
+	return v.err
+}

@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"bespoke/internal/builder"
+	"bespoke/internal/logic"
+	"bespoke/internal/netlist"
+)
+
+func TestVCDDump(t *testing.T) {
+	b := builder.New()
+	en := b.Input("en")
+	r := b.Register("cnt", 2, 0)
+	inc, _ := b.Inc(r.Q)
+	b.SetNextEn(r, en, inc)
+	b.OutputBus("cnt", r.Q)
+	s, err := New(b.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Reset()
+	s.Drive(en, logic.One)
+
+	var buf bytes.Buffer
+	v := NewVCD(&buf, s, append([]netlist.GateID(nil), r.Q...))
+	for i := 0; i < 4; i++ {
+		s.Settle()
+		v.Sample()
+		s.Edge()
+	}
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dump := buf.String()
+	for _, want := range []string{
+		"$timescale", "$var wire 1 ! cnt[0] $end", "$enddefinitions",
+		"#0", "#1",
+	} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("vcd missing %q:\n%s", want, dump)
+		}
+	}
+	// Bit 0 toggles every cycle: expect alternating 0!/1! entries.
+	if strings.Count(dump, "1!") < 2 || strings.Count(dump, "0!") < 2 {
+		t.Errorf("bit0 toggles not recorded:\n%s", dump)
+	}
+}
+
+func TestVCDIDs(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		id := vcdID(i)
+		if seen[id] {
+			t.Fatalf("duplicate VCD id %q at %d", id, i)
+		}
+		seen[id] = true
+	}
+}

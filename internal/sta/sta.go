@@ -1,0 +1,204 @@
+// Package sta is a static timing analyzer over the gate-level netlist:
+// it computes arrival times through the combinational network (cell delay
+// plus routed-wire delay), finds the critical path into any flip-flop,
+// memory pin or output port, and converts exposed slack into a minimum
+// safe operating voltage via the cell library's delay-voltage model.
+// This implements the paper's Table 2 methodology: cutting shortens logic
+// paths, the exposed slack buys voltage headroom, and voltage reduction
+// buys power.
+package sta
+
+import (
+	"math"
+
+	"bespoke/internal/cells"
+	"bespoke/internal/layout"
+	"bespoke/internal/netlist"
+)
+
+// BlockPath models a behavioral macro's timing arc: data flows from every
+// In pin to every Out pin with the given access delay.
+type BlockPath struct {
+	Ins     []netlist.GateID
+	Outs    []netlist.GateID
+	DelayPs float64
+}
+
+// Report is the timing summary of one design.
+type Report struct {
+	// CriticalPs is the longest register-to-register (or port) path.
+	CriticalPs float64
+	// ClockPs is the applied clock period.
+	ClockPs float64
+	// SlackFrac is (ClockPs - CriticalPs) / ClockPs, clamped at 0.
+	SlackFrac float64
+	// Vmin is the lowest safe supply for this slack (worst-case PVT
+	// guard band included).
+	Vmin float64
+	// FMaxHz is the highest frequency the design could run at instead.
+	FMaxHz float64
+
+	arrivals []float64
+}
+
+// setupPs is the flip-flop setup margin added to paths into D pins.
+const setupPs = 30
+
+// guardBand derates timing for worst-case PVT when choosing Vmin.
+const guardBand = 0.05
+
+// Analyze runs STA at the given clock period. The layout result supplies
+// per-net wire delays; blocks adds macro arcs (memory access paths).
+func Analyze(n *netlist.Netlist, lib *cells.Library, place *layout.Result, clockPs float64, blocks []BlockPath) (Report, error) {
+	arr := make([]float64, len(n.Gates))
+
+	// Block outputs get arrival = max(block inputs) + access delay; but
+	// block inputs' arrivals depend on logic that we process in level
+	// order, and the simulator's levelization already encodes block
+	// arcs. Here we iterate to a fixpoint over at most len(blocks)+1
+	// rounds (macros do not form combinational cycles).
+	blockOut := map[netlist.GateID]*BlockPath{}
+	for i := range blocks {
+		for _, o := range blocks[i].Outs {
+			blockOut[o] = &blocks[i]
+		}
+	}
+
+	order, err := n.TopoOrder()
+	if err != nil {
+		return Report{}, err
+	}
+
+	wire := func(id netlist.GateID) float64 { return place.WireDelayPs(lib, id) }
+
+	for round := 0; round <= len(blocks); round++ {
+		// Source arrivals.
+		for i := range n.Gates {
+			g := &n.Gates[i]
+			switch g.Kind {
+			case netlist.Dff:
+				arr[i] = lib.ByKind[netlist.Dff].Delay
+			case netlist.Input:
+				if bp := blockOut[netlist.GateID(i)]; bp != nil {
+					a := 0.0
+					for _, in := range bp.Ins {
+						if v := arr[in] + wire(in); v > a {
+							a = v
+						}
+					}
+					arr[i] = a + bp.DelayPs
+				} else {
+					arr[i] = 0
+				}
+			}
+		}
+		for _, id := range order {
+			g := &n.Gates[id]
+			a := 0.0
+			ni := g.Kind.NumInputs()
+			for p := 0; p < ni; p++ {
+				in := g.In[p]
+				if v := arr[in] + wire(in); v > a {
+					a = v
+				}
+			}
+			arr[id] = a + lib.ByKind[g.Kind].Delay
+		}
+	}
+
+	// Endpoints: flip-flop D pins, output ports, block input pins.
+	crit := 0.0
+	for i := range n.Gates {
+		g := &n.Gates[i]
+		if g.Kind == netlist.Dff {
+			d := g.In[0]
+			if v := arr[d] + wire(d) + setupPs; v > crit {
+				crit = v
+			}
+		}
+	}
+	for _, o := range n.Outputs {
+		if v := arr[o.Gate] + wire(o.Gate); v > crit {
+			crit = v
+		}
+	}
+	for i := range blocks {
+		for _, in := range blocks[i].Ins {
+			if v := arr[in] + wire(in) + setupPs; v > crit {
+				crit = v
+			}
+		}
+	}
+
+	rep := Report{CriticalPs: crit, ClockPs: clockPs}
+	if clockPs > 0 {
+		rep.SlackFrac = math.Max(0, (clockPs-crit)/clockPs)
+	}
+	rep.Vmin = lib.VminForSlack(rep.SlackFrac, guardBand)
+	if crit > 0 {
+		rep.FMaxHz = 1e12 / (crit * (1 + guardBand))
+	}
+	rep.arrivals = arr
+	return rep, nil
+}
+
+// PathStep is one gate on a reported timing path.
+type PathStep struct {
+	Gate      netlist.GateID
+	Kind      netlist.Kind
+	Module    string
+	ArrivalPs float64
+}
+
+// CriticalPath walks back from the worst endpoint and returns the gates
+// on the critical path, endpoint last. It needs the netlist the report
+// was computed over.
+func (r *Report) CriticalPath(n *netlist.Netlist) []PathStep {
+	if r.arrivals == nil {
+		return nil
+	}
+	// Worst D endpoint.
+	var end netlist.GateID = -1
+	worst := -1.0
+	for i := range n.Gates {
+		if n.Gates[i].Kind == netlist.Dff {
+			d := n.Gates[i].In[0]
+			if r.arrivals[d] > worst {
+				worst, end = r.arrivals[d], d
+			}
+		}
+	}
+	for _, o := range n.Outputs {
+		if r.arrivals[o.Gate] > worst {
+			worst, end = r.arrivals[o.Gate], o.Gate
+		}
+	}
+	if end < 0 {
+		return nil
+	}
+	var path []PathStep
+	cur := end
+	for {
+		path = append(path, PathStep{
+			Gate: cur, Kind: n.Gates[cur].Kind,
+			Module: n.ModuleOf(cur), ArrivalPs: r.arrivals[cur],
+		})
+		g := &n.Gates[cur]
+		if g.Kind.IsSeq() || g.Kind.NumInputs() == 0 {
+			break
+		}
+		// Step to the latest-arriving input.
+		next := g.In[0]
+		for p := 1; p < g.Kind.NumInputs(); p++ {
+			if r.arrivals[g.In[p]] > r.arrivals[next] {
+				next = g.In[p]
+			}
+		}
+		cur = next
+	}
+	// Reverse: startpoint first.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}

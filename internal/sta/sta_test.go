@@ -1,0 +1,134 @@
+package sta
+
+import (
+	"testing"
+
+	"bespoke/internal/builder"
+	"bespoke/internal/cells"
+	"bespoke/internal/layout"
+	"bespoke/internal/netlist"
+)
+
+// chain builds a register -> N inverters -> register path.
+func chain(n int) *netlist.Netlist {
+	b := builder.New()
+	r1 := b.Register("r1", 1, 0)
+	w := r1.Q[0]
+	for i := 0; i < n; i++ {
+		w = b.Not(w)
+	}
+	r2 := b.Register("r2", 1, 0)
+	b.SetNext(r1, builder.Bus{w}) // feedback keeps r1 live
+	b.SetNext(r2, builder.Bus{w})
+	b.Output("q", r2.Q[0])
+	return b.N
+}
+
+func analyzeChain(t *testing.T, n int, clockPs float64) Report {
+	t.Helper()
+	nl := chain(n)
+	lib := cells.TSMC65()
+	place := layout.Place(nl, lib)
+	rep, err := Analyze(nl, lib, place, clockPs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestCriticalPathGrowsWithDepth(t *testing.T) {
+	short := analyzeChain(t, 5, 10000)
+	long := analyzeChain(t, 50, 10000)
+	if long.CriticalPs <= short.CriticalPs {
+		t.Errorf("50-deep path (%v ps) not longer than 5-deep (%v ps)", long.CriticalPs, short.CriticalPs)
+	}
+	lib := cells.TSMC65()
+	// Lower bound: cell delays alone.
+	minLong := lib.ByKind[netlist.Dff].Delay + 50*lib.ByKind[netlist.Not].Delay
+	if long.CriticalPs < minLong {
+		t.Errorf("critical %v ps below cell-delay floor %v", long.CriticalPs, minLong)
+	}
+}
+
+func TestSlackAndVmin(t *testing.T) {
+	rep := analyzeChain(t, 5, 10000)
+	if rep.SlackFrac <= 0.5 {
+		t.Errorf("short chain at 10ns should have large slack, got %v", rep.SlackFrac)
+	}
+	if rep.Vmin >= 1.0 {
+		t.Errorf("Vmin = %v, want < 1.0 with slack", rep.Vmin)
+	}
+	tight := analyzeChain(t, 5, 0)
+	if tight.SlackFrac != 0 {
+		t.Errorf("zero-period slack = %v", tight.SlackFrac)
+	}
+	if tight.Vmin != 1.0 {
+		t.Errorf("no slack must keep Vmin at nominal, got %v", tight.Vmin)
+	}
+}
+
+func TestBlockArcExtendsPath(t *testing.T) {
+	b := builder.New()
+	r1 := b.Register("r1", 1, 0)
+	addr := b.Not(r1.Q[0])
+	rd := b.Input("rom_rdata")
+	r2 := b.Register("r2", 1, 0)
+	b.SetNext(r1, builder.Bus{addr})
+	b.SetNext(r2, builder.Bus{rd})
+	b.Output("q", r2.Q[0])
+	lib := cells.TSMC65()
+	place := layout.Place(b.N, lib)
+
+	noArc, err := Analyze(b.N, lib, place, 10000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withArc, err := Analyze(b.N, lib, place, 10000, []BlockPath{
+		{Ins: []netlist.GateID{addr}, Outs: []netlist.GateID{rd}, DelayPs: 1200},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withArc.CriticalPs < noArc.CriticalPs+1000 {
+		t.Errorf("memory arc did not extend the path: %v vs %v", withArc.CriticalPs, noArc.CriticalPs)
+	}
+}
+
+func TestFMax(t *testing.T) {
+	rep := analyzeChain(t, 20, 10000)
+	if rep.FMaxHz <= 0 {
+		t.Fatal("no fmax")
+	}
+	period := 1e12 / rep.FMaxHz
+	if period < rep.CriticalPs {
+		t.Errorf("fmax period %v ps shorter than critical path %v ps", period, rep.CriticalPs)
+	}
+}
+
+func TestCriticalPathWalk(t *testing.T) {
+	nl := chain(10)
+	lib := cells.TSMC65()
+	place := layout.Place(nl, lib)
+	rep, err := Analyze(nl, lib, place, 10000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := rep.CriticalPath(nl)
+	if len(path) < 11 {
+		t.Fatalf("path too short: %d steps", len(path))
+	}
+	// Startpoint is a register, arrivals strictly increase, endpoint is
+	// the worst arrival.
+	if path[0].Kind != netlist.Dff {
+		t.Errorf("startpoint = %v", path[0].Kind)
+	}
+	for i := 1; i < len(path); i++ {
+		if path[i].ArrivalPs < path[i-1].ArrivalPs {
+			t.Errorf("arrival not monotone at %d", i)
+		}
+	}
+	last := path[len(path)-1].ArrivalPs
+	if last <= 0 || last > rep.CriticalPs {
+		t.Errorf("endpoint arrival %v vs critical %v", last, rep.CriticalPs)
+	}
+}

@@ -1,0 +1,560 @@
+// Package symexec implements the paper's Algorithm 1: input-independent
+// gate activity analysis. It simulates the gate-level core with every
+// input held at X, branches the execution tree whenever an unknown value
+// reaches a control decision (a conditional jump with unknown flags, or
+// an interrupt-take decision with unknown request lines), and applies the
+// conservative state-merging approximation at branch sites so the
+// exploration terminates for arbitrarily complex or infinite control
+// structures.
+//
+// The result is, for every gate, whether any execution of the program -
+// under any input - could toggle it, and the constant output value of the
+// gates that can never toggle. Those are exactly the gates the cutting
+// stage removes.
+package symexec
+
+import (
+	"fmt"
+
+	"bespoke/internal/asm"
+	"bespoke/internal/cpu"
+	"bespoke/internal/logic"
+	"bespoke/internal/msp430"
+	"bespoke/internal/netlist"
+	"bespoke/internal/sim"
+)
+
+// Options tunes the analysis.
+type Options struct {
+	// MaxCycles bounds total simulated cycles across all branches.
+	// 0 means the default (20M).
+	MaxCycles uint64
+	// WatchGate, when nonzero, aborts with a diagnostic the first time
+	// that gate's value becomes X (debugging aid).
+	WatchGate int
+
+	// MergeThreshold is how many distinct unknown-valued (forking)
+	// decision states a branch site may accumulate before the
+	// conservative state-merging approximation kicks in there. Covered
+	// re-encounters always kill the path. 1 merges at the first
+	// re-encounter (the paper's formulation); the default 64 explores
+	// small input-dependent structures exactly before widening.
+	// Decisions on concrete values never trigger merging - concrete
+	// loops always run exactly (input-independent repeats still kill
+	// the path).
+	MergeThreshold int
+}
+
+// Result is the outcome of gate activity analysis.
+type Result struct {
+	// Toggled[g] reports whether gate g can toggle in some execution.
+	Toggled []bool
+	// ConstVal[g] is the constant output value of untoggled gates.
+	ConstVal []logic.V
+	// Paths is the number of execution-tree branches explored.
+	Paths int
+	// Merges counts conservative state merges.
+	Merges int
+	// Cycles is the total number of simulated cycles.
+	Cycles uint64
+}
+
+// UntoggledCount returns the number of real cells that can never toggle.
+func (r *Result) UntoggledCount(n *netlist.Netlist) int {
+	c := 0
+	for i := range n.Gates {
+		switch n.Gates[i].Kind {
+		case netlist.Input, netlist.Const0, netlist.Const1:
+			continue
+		}
+		if !r.Toggled[i] {
+			c++
+		}
+	}
+	return c
+}
+
+// snapshot is one captured machine state (flip-flops plus memory macros).
+type snapshot struct {
+	dffs []logic.V
+	ram  sim.BlockState
+}
+
+func (a *snapshot) covers(b *snapshot) bool {
+	for i := range a.dffs {
+		if !logic.Covers(a.dffs[i], b.dffs[i]) {
+			return false
+		}
+	}
+	return a.ram.Covers(b.ram)
+}
+
+func (a *snapshot) equal(b *snapshot) bool {
+	return a.covers(b) && b.covers(a)
+}
+
+func (a *snapshot) merge(b *snapshot) *snapshot {
+	out := &snapshot{dffs: make([]logic.V, len(a.dffs)), ram: a.ram.Merge(b.ram)}
+	for i := range a.dffs {
+		out.dffs[i] = logic.Merge(a.dffs[i], b.dffs[i])
+	}
+	return out
+}
+
+// forcing is a flip-flop override applied when a branch world resumes.
+type forcing struct {
+	net netlist.GateID
+	val logic.V
+}
+
+// world is one unexplored execution point. resume marks worlds created at
+// a decision point whose choice is already made: they take the pending
+// clock edge before the site logic runs again.
+type world struct {
+	snap   *snapshot
+	force  []forcing
+	resume bool
+}
+
+// site tracks merge bookkeeping for one branch location.
+type site struct {
+	seen         []*snapshot // forking-decision states observed here
+	lastConcrete *snapshot
+	merged       *snapshot // conservative superstate, once widening began
+}
+
+// analyzer runs the exploration.
+type analyzer struct {
+	core *cpu.Core
+	s    *sim.Sim
+	opts Options
+
+	pcD    []netlist.GateID // D nets of the PC flip-flops
+	stack  []world
+	sites  map[uint32]*site
+	cycles uint64
+	paths  int
+	merges int
+}
+
+// Analyze runs input-independent gate activity analysis of prog on a
+// freshly built core and returns the per-gate activity verdicts.
+func Analyze(prog *asm.Program, opts Options) (*Result, *cpu.Core, error) {
+	core := cpu.Build()
+	core.LoadProgram(prog.Bytes, prog.Origin)
+	res, err := AnalyzeOn(core, opts)
+	return res, core, err
+}
+
+// AnalyzeOn runs the analysis on an existing core whose ROM is already
+// loaded. The core's netlist is not modified.
+func AnalyzeOn(core *cpu.Core, opts Options) (*Result, error) {
+	if opts.MaxCycles == 0 {
+		opts.MaxCycles = 20_000_000
+	}
+	if opts.MergeThreshold == 0 {
+		opts.MergeThreshold = 64
+	}
+	s, err := core.NewSim()
+	if err != nil {
+		return nil, err
+	}
+	a := &analyzer{
+		core:  core,
+		s:     s,
+		opts:  opts,
+		sites: map[uint32]*site{},
+	}
+	for _, bit := range core.PC() {
+		// On a bespoke (cut) core some PC bits are constants (bit 0 is
+		// never set); their next value is themselves.
+		if core.N.Gates[bit].Kind == netlist.Dff {
+			a.pcD = append(a.pcD, core.N.Gates[bit].In[0])
+		} else {
+			a.pcD = append(a.pcD, bit)
+		}
+	}
+
+	// Algorithm 1 lines 2-8: initialize everything to X, load the
+	// binary (already in ROM), propagate reset, drive all inputs X,
+	// and mark all gates untoggled.
+	s.Reset()
+	for i := range core.IRQ {
+		s.Drive(core.IRQ[i], logic.X)
+	}
+	s.DriveBus(core.P1In, logic.XWord)
+	s.Settle()
+	s.ResetActivity()
+	// Advance through the reset-vector state to the first fetch. This
+	// happens with activity tracking live, so flip-flops that leave
+	// their reset value here (FSM state, PC) are recorded as toggled and
+	// the bespoke design keeps its reset sequence intact.
+	s.Step()
+	s.Settle()
+
+	a.stack = append(a.stack, world{snap: a.capture()})
+	for len(a.stack) > 0 {
+		w := a.stack[len(a.stack)-1]
+		a.stack = a.stack[:len(a.stack)-1]
+		a.paths++
+		if err := a.runWorld(w); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{
+		Toggled:  append([]bool(nil), s.Active...),
+		ConstVal: make([]logic.V, len(s.Val)),
+		Paths:    a.paths,
+		Merges:   a.merges,
+		Cycles:   a.cycles,
+	}
+	for i, v := range s.Val {
+		if !s.Active[i] {
+			res.ConstVal[i] = v
+		}
+	}
+	return res, nil
+}
+
+func (a *analyzer) capture() *snapshot {
+	ram := a.s.Blocks()[1].Snapshot() // blocks are (ROM, RAM)
+	return &snapshot{dffs: a.s.DffSnapshot(), ram: ram}
+}
+
+func (a *analyzer) restore(sn *snapshot) {
+	a.s.RestoreDffs(sn.dffs)
+	a.s.Blocks()[1].Restore(sn.ram)
+	a.s.Settle()
+}
+
+// val reads a settled net value.
+func (a *analyzer) val(id netlist.GateID) logic.V { return a.s.Val[id] }
+
+// readConcrete reads a bus that must be fully known.
+func (a *analyzer) readConcrete(bus []netlist.GateID, what string) (uint16, error) {
+	w := a.s.ReadBus(bus)
+	if !w.Known() {
+		return 0, fmt.Errorf("symexec: %s is partially unknown: %v", what, w)
+	}
+	return w.Val, nil
+}
+
+// runWorld resumes one execution point and simulates until the path ends
+// (program halt, covered state, or exact repeat).
+func (a *analyzer) runWorld(w world) error {
+	a.restore(w.snap)
+	for _, f := range w.force {
+		a.s.ForceDff(f.net, f.val)
+	}
+	a.s.Settle()
+	skipSite := w.resume // decision just resolved: take the edge
+	for {
+		if a.cycles >= a.opts.MaxCycles {
+			return fmt.Errorf("symexec: exceeded cycle budget (%d); program may not terminate", a.opts.MaxCycles)
+		}
+		a.cycles++
+		if !skipSite {
+			done, forked, err := a.atDecision()
+			if err != nil {
+				return err
+			}
+			if done || forked {
+				return nil
+			}
+		}
+		skipSite = false
+		if a.opts.WatchGate != 0 && a.s.Val[a.opts.WatchGate] == logic.X {
+			return fmt.Errorf("symexec: WATCH gate %d went X at pc=%v state=%v mab=%v ir=%v",
+				a.opts.WatchGate, a.s.ReadBus(a.core.PC()), a.s.ReadBus(a.core.State), a.s.ReadBus(a.core.MAB), a.s.ReadBus(a.core.IRReg))
+		}
+		// Check that control stays concrete, then clock. A partially
+		// unknown next PC with few unknown bits gets the Algorithm 1
+		// treatment: enumerate every consistent candidate and fork
+		// (possible_PC_next_vals); this covers indirect control flow
+		// through merged state, e.g. an RTOS popping a widened return
+		// address. Fully data-dependent targets stay an error.
+		if pcNext := a.s.ReadBus(a.pcD); !pcNext.Known() {
+			const maxUnknownBits = 4
+			if nx := popcount(pcNext.Mask); nx <= maxUnknownBits {
+				a.s.Edge()
+				a.s.Settle()
+				base := a.capture()
+				pcBits := a.core.PC()
+				for v := 0; v < 1<<nx; v++ {
+					var fs []forcing
+					bit := 0
+					for i := 0; i < 16; i++ {
+						if pcNext.Mask>>uint(i)&1 == 1 {
+							fs = append(fs, forcing{pcBits[i], logic.FromBool(v>>uint(bit)&1 == 1)})
+							bit++
+						}
+					}
+					a.stack = append(a.stack, world{snap: base, force: fs})
+				}
+				return nil
+			}
+			return fmt.Errorf("symexec: unknown value reached the PC (pc=%v state=%v ir=%v next=%v): indirect control flow on input-dependent data",
+				a.s.ReadBus(a.core.PC()), a.s.ReadBus(a.core.State), a.s.ReadBus(a.core.IRReg), pcNext)
+		}
+		a.s.Edge()
+		a.s.Settle()
+	}
+}
+
+// atDecision inspects the settled machine. It ends the path on program
+// halt, and at branch decisions performs the cover/merge bookkeeping and
+// forks the execution tree when the decision depends on unknown values.
+// It returns done=true when the current path is finished and forked=true
+// when successor worlds were pushed.
+func (a *analyzer) atDecision() (done, forked bool, err error) {
+	st := a.s.ReadBus(a.core.State)
+	if !st.Known() {
+		return false, false, fmt.Errorf("symexec: FSM state is unknown (state=%v pc=%v ir=%v cpuen=%v)",
+			st, a.s.ReadBus(a.core.PC()), a.s.ReadBus(a.core.IRReg), a.s.Val[a.core.CPUEn])
+	}
+	switch uint64(st.Val) {
+	case cpu.StateFETCH:
+		return a.atFetch()
+	case cpu.StateEXEC:
+		return a.atExec()
+	}
+	return false, false, nil
+}
+
+// atFetch handles halt detection and interrupt forking.
+func (a *analyzer) atFetch() (done, forked bool, err error) {
+	pc, err := a.readConcrete(a.core.PC(), "pc at fetch")
+	if err != nil {
+		return false, false, err
+	}
+	take := a.val(a.core.IrqTake)
+
+	// Halt convention: an unconditional self-jump with no interrupt
+	// that could ever fire.
+	word := a.core.ROM.Words()[(pc-msp430.ROMStart)/2]
+	if msp430.InROM(pc) && word == haltWord && take == logic.Zero {
+		return true, false, nil
+	}
+
+	if take == logic.Zero {
+		return false, false, nil
+	}
+
+	// Pending status per line: IFG & IE (bit known 0 if either known 0).
+	pendBit := func(i int) logic.V {
+		ie := a.s.ReadBus(a.core.IEReg)
+		return logic.And(a.s.Val[a.core.IFReg[i]], ie.Bit(uint(i)))
+	}
+	// The decision forks unless the take and the winning line are both
+	// concrete.
+	ambiguous := func() bool {
+		if a.val(a.core.IrqTake) != logic.One {
+			return true
+		}
+		top := -1
+		for i := 3; i >= 0; i-- {
+			switch pendBit(i) {
+			case logic.One:
+				if top == -1 {
+					top = i
+				}
+			case logic.X:
+				return true // could outrank or be the only pending line
+			}
+			if top >= 0 {
+				break
+			}
+		}
+		return false
+	}
+
+	// An interrupt is possible. This is a branch site: apply the
+	// cover/merge discipline, then fork over the consistent outcomes.
+	key := uint32(pc) | 1<<16
+	killed, err := a.visitSite(key, ambiguous())
+	if err != nil || killed {
+		return killed, false, err
+	}
+	if !ambiguous() {
+		return false, false, nil // concrete interrupt entry: proceed inline
+	}
+
+	take = a.val(a.core.IrqTake) // may have widened
+	base := a.capture()
+	var worlds []world
+
+	if take != logic.One {
+		// World: no interrupt now. Force every unknown pending IFG bit
+		// to 0 so the take decision resolves to 0.
+		var fs []forcing
+		for i := 0; i < 4; i++ {
+			if pendBit(i) == logic.X {
+				fs = append(fs, forcing{a.core.IFReg[i], logic.Zero})
+			}
+		}
+		worlds = append(worlds, world{snap: base, force: fs, resume: true})
+	}
+	// Worlds: take interrupt i, for every i that could be the winner.
+	for i := 3; i >= 0; i-- {
+		p := pendBit(i)
+		if p == logic.Zero {
+			continue
+		}
+		var fs []forcing
+		ok := true
+		// Line i pends; all higher lines must not.
+		if p == logic.X {
+			fs = append(fs, forcing{a.core.IFReg[i], logic.One})
+		}
+		for j := i + 1; j < 4; j++ {
+			switch pendBit(j) {
+			case logic.One:
+				ok = false // a higher line definitely wins
+			case logic.X:
+				fs = append(fs, forcing{a.core.IFReg[j], logic.Zero})
+			}
+		}
+		if !ok {
+			continue
+		}
+		worlds = append(worlds, world{snap: base, force: fs, resume: true})
+		if p == logic.One {
+			break // lines below cannot win
+		}
+	}
+	a.stack = append(a.stack, worlds...)
+	return false, true, nil
+}
+
+// haltWord is the encoding of "jmp $" (offset -1).
+const haltWord uint16 = 0x3FFF
+
+// atExec handles conditional-jump branch sites.
+func (a *analyzer) atExec() (done, forked bool, err error) {
+	irWord, err := a.readConcrete(a.core.IRReg, "instruction register")
+	if err != nil {
+		return false, false, err
+	}
+	in, _, derr := msp430.Decode(func(i int) uint16 {
+		if i > 0 {
+			return 0
+		}
+		return irWord
+	})
+	if derr != nil || !in.Op.IsJump() {
+		return false, false, nil
+	}
+
+	pc, err := a.readConcrete(a.core.PC(), "pc at jump")
+	if err != nil {
+		return false, false, err
+	}
+
+	// Which flags does this condition read?
+	sr := a.core.SR()
+	var need []netlist.GateID
+	switch in.Op {
+	case msp430.JNE, msp430.JEQ:
+		need = []netlist.GateID{sr[1]}
+	case msp430.JNC, msp430.JC:
+		need = []netlist.GateID{sr[0]}
+	case msp430.JN:
+		need = []netlist.GateID{sr[2]}
+	case msp430.JGE, msp430.JL:
+		need = []netlist.GateID{sr[2], sr[8]}
+	}
+	unknownFlags := func() []netlist.GateID {
+		var u []netlist.GateID
+		for _, f := range need {
+			if a.val(f) == logic.X {
+				u = append(u, f)
+			}
+		}
+		return u
+	}
+
+	killed, err := a.visitSite(uint32(pc), len(unknownFlags()) > 0)
+	if err != nil || killed {
+		return killed, false, err
+	}
+	// Widening may have made more flags unknown: recompute.
+	unknown := unknownFlags()
+	if len(unknown) == 0 {
+		return false, false, nil
+	}
+	// Fork over all assignments of the unknown flags (at most 4).
+	base := a.capture()
+	n := 1 << len(unknown)
+	for v := 0; v < n; v++ {
+		fs := make([]forcing, len(unknown))
+		for i, f := range unknown {
+			fs[i] = forcing{f, logic.FromBool(v>>i&1 == 1)}
+		}
+		a.stack = append(a.stack, world{snap: base, force: fs, resume: true})
+	}
+	return false, true, nil
+}
+
+// visitSite applies the termination discipline at a branch site.
+//
+// Covered states (subsumed by the site's conservative superstate) and
+// exact repeats kill the path. A site that keeps making unknown-valued
+// decisions past the merge threshold starts widening: its superstate
+// absorbs each new state and simulation continues from the widened state
+// (Algorithm 1's conservative approximation), which bounds exploration
+// for input-dependent loops. Concrete decisions never widen, so bounded
+// concrete loops execute exactly.
+func (a *analyzer) visitSite(key uint32, forking bool) (killed bool, err error) {
+	cur := a.capture()
+	st := a.sites[key]
+	if st == nil {
+		st = &site{}
+		a.sites[key] = st
+	}
+	if st.merged != nil {
+		if st.merged.covers(cur) {
+			return true, nil
+		}
+		a.merges++
+		st.merged = st.merged.merge(cur)
+		a.restore(st.merged)
+		return false, nil
+	}
+	if !forking {
+		if st.lastConcrete != nil && st.lastConcrete.equal(cur) {
+			return true, nil // input-independent cycle
+		}
+		st.lastConcrete = cur
+		return false, nil
+	}
+	// Kill the path when any previously explored decision state covers
+	// this one: X-simulation over-approximates data and all control Xs
+	// fork, so the covering state's exploration subsumes this path.
+	for _, s := range st.seen {
+		if s.covers(cur) {
+			return true, nil
+		}
+	}
+	if len(st.seen) >= a.opts.MergeThreshold {
+		a.merges++
+		st.merged = cur
+		for _, s := range st.seen {
+			st.merged = st.merged.merge(s)
+		}
+		st.seen = nil
+		a.restore(st.merged)
+		return false, nil
+	}
+	st.seen = append(st.seen, cur)
+	return false, nil
+}
+
+// popcount counts set bits in a 16-bit mask.
+func popcount(m uint16) int {
+	c := 0
+	for ; m != 0; m &= m - 1 {
+		c++
+	}
+	return c
+}

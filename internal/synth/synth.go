@@ -1,0 +1,242 @@
+// Package synth is the re-synthesis stage that runs after cutting and
+// stitching: it folds the stitched constants into the surviving logic,
+// simplifies gates left with constant inputs (the paper's example turns
+// an XOR with a constant-1 input into an inverter), collapses buffers,
+// and removes gates whose outputs can no longer reach any state element,
+// memory pin or output port ("toggled gates left with floating outputs
+// after cutting can be removed").
+//
+// Like package cut, it never renumbers gates: removed cells become
+// constants (zero area, zero power), so all external references stay
+// valid.
+package synth
+
+import (
+	"bespoke/internal/netlist"
+)
+
+// Stats summarizes one optimization run.
+type Stats struct {
+	Folded    int // gates simplified by constant propagation
+	Collapsed int // buffers bypassed
+	Dead      int // unreachable gates removed
+	Passes    int
+}
+
+// Optimize simplifies n in place until a fixpoint. keepAlive lists nets
+// that must survive even without fanout (primary outputs are always kept;
+// pass memory-macro input pins here).
+func Optimize(n *netlist.Netlist, keepAlive []netlist.GateID) Stats {
+	var st Stats
+	for {
+		f := foldConstants(n)
+		c := collapseBuffers(n)
+		d := removeDead(n, keepAlive)
+		st.Folded += f
+		st.Collapsed += c
+		st.Dead += d
+		st.Passes++
+		if f+c+d == 0 {
+			return st
+		}
+	}
+}
+
+func isConst(k netlist.Kind) (netlist.Kind, bool) {
+	return k, k == netlist.Const0 || k == netlist.Const1
+}
+
+// foldConstants simplifies gates with constant inputs. It returns the
+// number of gates changed.
+func foldConstants(n *netlist.Netlist) int {
+	changed := 0
+	toConst := func(g *netlist.Gate, one bool) {
+		g.Kind = netlist.Const0
+		if one {
+			g.Kind = netlist.Const1
+		}
+		g.In = [3]netlist.GateID{netlist.None, netlist.None, netlist.None}
+		changed++
+	}
+	toBuf := func(g *netlist.Gate, in netlist.GateID, invert bool) {
+		g.Kind = netlist.Buf
+		if invert {
+			g.Kind = netlist.Not
+		}
+		g.In = [3]netlist.GateID{in, netlist.None, netlist.None}
+		changed++
+	}
+	kindOf := func(id netlist.GateID) netlist.Kind { return n.Gates[id].Kind }
+
+	for i := range n.Gates {
+		g := &n.Gates[i]
+		switch g.Kind {
+		case netlist.Not:
+			if k, ok := isConst(kindOf(g.In[0])); ok {
+				toConst(g, k == netlist.Const0)
+			}
+		case netlist.Buf:
+			if k, ok := isConst(kindOf(g.In[0])); ok {
+				toConst(g, k == netlist.Const1)
+			}
+		case netlist.And, netlist.Nand:
+			inv := g.Kind == netlist.Nand
+			ka, aOK := isConst(kindOf(g.In[0]))
+			kb, bOK := isConst(kindOf(g.In[1]))
+			switch {
+			case aOK && ka == netlist.Const0, bOK && kb == netlist.Const0:
+				toConst(g, inv)
+			case aOK && ka == netlist.Const1 && bOK && kb == netlist.Const1:
+				toConst(g, !inv)
+			case aOK && ka == netlist.Const1:
+				toBuf(g, g.In[1], inv)
+			case bOK && kb == netlist.Const1:
+				toBuf(g, g.In[0], inv)
+			case g.In[0] == g.In[1]:
+				toBuf(g, g.In[0], inv)
+			}
+		case netlist.Or, netlist.Nor:
+			inv := g.Kind == netlist.Nor
+			ka, aOK := isConst(kindOf(g.In[0]))
+			kb, bOK := isConst(kindOf(g.In[1]))
+			switch {
+			case aOK && ka == netlist.Const1, bOK && kb == netlist.Const1:
+				toConst(g, !inv)
+			case aOK && ka == netlist.Const0 && bOK && kb == netlist.Const0:
+				toConst(g, inv)
+			case aOK && ka == netlist.Const0:
+				toBuf(g, g.In[1], inv)
+			case bOK && kb == netlist.Const0:
+				toBuf(g, g.In[0], inv)
+			case g.In[0] == g.In[1]:
+				toBuf(g, g.In[0], inv)
+			}
+		case netlist.Xor, netlist.Xnor:
+			inv := g.Kind == netlist.Xnor
+			ka, aOK := isConst(kindOf(g.In[0]))
+			kb, bOK := isConst(kindOf(g.In[1]))
+			switch {
+			case aOK && bOK:
+				toConst(g, (ka == netlist.Const1) != (kb == netlist.Const1) != inv)
+			case aOK:
+				toBuf(g, g.In[1], (ka == netlist.Const1) != inv)
+			case bOK:
+				toBuf(g, g.In[0], (kb == netlist.Const1) != inv)
+			case g.In[0] == g.In[1]:
+				toConst(g, inv)
+			}
+		case netlist.Mux:
+			ks, sOK := isConst(kindOf(g.In[2]))
+			switch {
+			case sOK && ks == netlist.Const0:
+				toBuf(g, g.In[0], false)
+			case sOK && ks == netlist.Const1:
+				toBuf(g, g.In[1], false)
+			case g.In[0] == g.In[1]:
+				toBuf(g, g.In[0], false)
+			default:
+				// Mux with constant data inputs becomes logic of sel.
+				ka, aOK := isConst(kindOf(g.In[0]))
+				kb, bOK := isConst(kindOf(g.In[1]))
+				if aOK && bOK {
+					if ka == kb {
+						toConst(g, ka == netlist.Const1)
+					} else if kb == netlist.Const1 {
+						toBuf(g, g.In[2], false) // 0/1 by sel
+					} else {
+						toBuf(g, g.In[2], true) // 1/0 by sel: !sel
+					}
+				}
+			}
+		}
+	}
+	if changed > 0 {
+		n.InvalidateDerived()
+	}
+	return changed
+}
+
+// collapseBuffers rewires every pin that reads a Buf to read the buffer's
+// source directly; orphaned buffers are cleaned up by removeDead. Buffers
+// driving primary outputs are rewired in the port table. Forward-buffer
+// chains collapse fully in one pass per level.
+func collapseBuffers(n *netlist.Netlist) int {
+	// resolve follows buffer chains to the real driver.
+	resolve := func(id netlist.GateID) netlist.GateID {
+		seen := 0
+		for n.Gates[id].Kind == netlist.Buf {
+			id = n.Gates[id].In[0]
+			if seen++; seen > len(n.Gates) {
+				panic("synth: buffer cycle")
+			}
+		}
+		return id
+	}
+	changed := 0
+	for i := range n.Gates {
+		g := &n.Gates[i]
+		ni := g.Kind.NumInputs()
+		for p := 0; p < ni; p++ {
+			if src := g.In[p]; src != netlist.None && n.Gates[src].Kind == netlist.Buf {
+				g.In[p] = resolve(src)
+				changed++
+			}
+		}
+	}
+	for i := range n.Outputs {
+		if src := n.Outputs[i].Gate; n.Gates[src].Kind == netlist.Buf {
+			n.Outputs[i].Gate = resolve(src)
+			changed++
+		}
+	}
+	if changed > 0 {
+		n.InvalidateDerived()
+	}
+	return changed
+}
+
+// removeDead turns every real cell that cannot reach a primary output or
+// a keepAlive net into a constant. Reachability runs backward from the
+// roots over input edges (through flip-flops).
+func removeDead(n *netlist.Netlist, keepAlive []netlist.GateID) int {
+	live := make([]bool, len(n.Gates))
+	var stack []netlist.GateID
+	push := func(id netlist.GateID) {
+		if id != netlist.None && !live[id] {
+			live[id] = true
+			stack = append(stack, id)
+		}
+	}
+	for _, o := range n.Outputs {
+		push(o.Gate)
+	}
+	for _, k := range keepAlive {
+		push(k)
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		g := &n.Gates[id]
+		ni := g.Kind.NumInputs()
+		for p := 0; p < ni; p++ {
+			push(g.In[p])
+		}
+	}
+	changed := 0
+	for i := range n.Gates {
+		g := &n.Gates[i]
+		switch g.Kind {
+		case netlist.Input, netlist.Const0, netlist.Const1:
+			continue
+		}
+		if !live[i] {
+			g.Kind = netlist.Const0
+			g.In = [3]netlist.GateID{netlist.None, netlist.None, netlist.None}
+			changed++
+		}
+	}
+	if changed > 0 {
+		n.InvalidateDerived()
+	}
+	return changed
+}

@@ -1,0 +1,66 @@
+package verify
+
+import (
+	"testing"
+
+	"bespoke/internal/bench"
+	"bespoke/internal/core"
+)
+
+func TestGenInputsCoversBinSearch(t *testing.T) {
+	ws, cov, err := GenInputs(bench.BinSearch(), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) == 0 {
+		t.Fatal("no inputs")
+	}
+	t.Logf("binSearch: %d inputs, line %.0f%%, branch %.0f%%, dirs %.0f%%, paths %d",
+		len(ws), 100*cov.Lines, 100*cov.Branches, 100*cov.BranchDirs, cov.Paths)
+	if cov.Lines < 0.5 {
+		t.Errorf("line coverage %.2f too low", cov.Lines)
+	}
+	if cov.Paths < 2 {
+		t.Errorf("only %d paths", cov.Paths)
+	}
+}
+
+func TestGenInputsStraightLine(t *testing.T) {
+	// intAVG has a single concrete path: coverage should be complete
+	// with one input.
+	_, cov, err := GenInputs(bench.IntAVG(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov.Lines < 0.99 {
+		t.Errorf("line coverage %.2f, want ~1.0", cov.Lines)
+	}
+	if cov.BranchDirs < 0.99 {
+		t.Errorf("dir coverage %.2f, want ~1.0 (loop taken and exits)", cov.BranchDirs)
+	}
+}
+
+func TestFullVerificationDiv(t *testing.T) {
+	rep, err := Run(bench.Div(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Equivalent {
+		t.Fatal("bespoke div not equivalent")
+	}
+	if rep.GateCov <= 0.3 {
+		t.Errorf("gate coverage %.2f suspiciously low (most bespoke gates should be needed)", rep.GateCov)
+	}
+	t.Logf("div: x=%v input=%v gatecov=%.0f%%", rep.XTime, rep.InputTime, 100*rep.GateCov)
+}
+
+func TestXVerifyCatchesNothingOnHonestCut(t *testing.T) {
+	b := bench.IntAVG()
+	res, err := core.Tailor(b.MustProg(), b.Workload(1), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := XVerify(res.BespokeCore, res.Analysis); err != nil {
+		t.Fatalf("honest cut failed X verification: %v", err)
+	}
+}
