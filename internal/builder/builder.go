@@ -1,0 +1,220 @@
+// Package builder is the word-level circuit-construction DSL of the
+// bespoke flow: the stand-in for RTL plus Design Compiler synthesis. A
+// Builder wraps an internal/netlist under construction and offers buses,
+// registers, muxes, decoders and ripple arithmetic; everything lowers to
+// the 2-input cell set of internal/netlist at the moment it is described.
+//
+// # Lowering rules
+//
+// Every operator decomposes structurally into the netlist primitives
+// (Not/And/Or/Nand/Nor/Xor/Xnor/Mux/Buf/Dff):
+//
+//   - Variadic gates reduce over balanced trees of 2-input cells, so an
+//     N-way OR has depth ceil(log2 N).
+//   - Word operators (AndB, OrB, XorB, NotB, AndW, MuxB) map bitwise.
+//   - MuxTree lowers an items[sel] lookup into a binary tree of 2:1
+//     muxes on the select bits, LSB nearest the leaves.
+//   - Decode produces a one-hot bus; output i is the AND of the select
+//     bits, inverted where bit i of the index is 0 (inverters shared).
+//   - Add/Sub/Inc are ripple-carry: per bit two XORs, two ANDs and an OR.
+//     Sub(a, b) computes a - b as a + ^b + 1; its second result is the
+//     carry out, i.e. 1 when no borrow occurred (a >= b unsigned).
+//   - Register creates one Dff per bit with a synchronous reset value;
+//     SetNext/SetNextEn connect the D pins later, so feedback through
+//     state is described naturally. SetNextEn lowers the write enable
+//     into a per-bit hold mux D = en ? v : Q.
+//   - ForwardBus creates named Buf placeholders so modules can consume a
+//     bus produced later in elaboration; DriveBus connects the producer.
+//
+// Constant folding happens at construction: a gate whose operands are
+// the canonical constant nets (Low/High, BusConst) folds to a constant
+// or collapses to its live operand, and a mux with a constant select
+// folds to the chosen branch. That is how tying a configuration wire to
+// High (for example the clock enable) removes the gating logic from the
+// emitted netlist, mirroring what synthesis does to tied-off RTL. The
+// builder performs no structural rewriting beyond constants: identical
+// non-constant operands, double inverters and the like are emitted as
+// described, so gate counts follow the described structure
+// deterministically.
+//
+// # Naming and determinism
+//
+// Gate IDs are assigned in description order and nothing about
+// construction consults a map or other unordered source, so building the
+// same circuit twice yields byte-identical netlists - a property the
+// symbolic analysis, layout and experiment harness rely on. Scope(name,
+// fn) pushes a hierarchical module path component ("frontend",
+// "frontend/decoder", ...); every gate created inside is attributed to
+// that module for the paper's per-module breakdowns. AtRoot temporarily
+// escapes to the root scope for glue that must not be attributed to the
+// calling module. Registers, inputs and forward buses carry names of the
+// form "scope/path/name[i]"; ports keep the plain "name[i]" the
+// testbench looks up.
+//
+// Misuse - width mismatches, oversized constants, double-driven
+// registers or forward buses - panics at description time with a
+// "builder:" message; undriven registers and forward buses are reported
+// by Build.
+package builder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"bespoke/internal/netlist"
+)
+
+// Wire is one net of the netlist under construction. It is an alias of
+// netlist.GateID, so builder handles flow directly into the simulator
+// and analysis passes.
+type Wire = netlist.GateID
+
+// Bus is a little-endian vector of nets: Bus[0] is the least significant
+// bit. It is an alias, so a Bus is usable anywhere a []netlist.GateID is
+// expected (sim.DriveBus, sim.ReadBus, memory macros).
+type Bus = []netlist.GateID
+
+// Reg is a bank of flip-flops. Q holds the flop output nets, LSB first;
+// the D inputs are connected later via SetNext or SetNextEn. A Reg whose
+// Q nets are not flip-flops (e.g. a constant-generator pseudo register)
+// may be read but never driven.
+type Reg struct {
+	// Q is the register output bus.
+	Q Bus
+}
+
+// Builder constructs a netlist. Create one with New, describe the
+// circuit, then read the result from N (validating via Build).
+type Builder struct {
+	// N is the netlist under construction.
+	N *netlist.Netlist
+
+	scope  []string
+	module netlist.ModuleID
+	c0, c1 Wire
+
+	// forwards maps pending (undriven) forward-bus placeholder nets to
+	// their names.
+	forwards map[Wire]string
+	// regs maps every Dff created by Register to its bit name, for
+	// Build-time reporting of undriven registers.
+	regs map[Wire]string
+}
+
+// New returns a Builder over a fresh netlist. The canonical constant
+// nets (Low and High) occupy gate IDs 0 and 1.
+func New() *Builder {
+	n := netlist.New()
+	b := &Builder{
+		N:        n,
+		forwards: make(map[Wire]string),
+		regs:     make(map[Wire]string),
+	}
+	b.c0 = n.Add(netlist.Gate{Kind: netlist.Const0, Name: "const0"})
+	b.c1 = n.Add(netlist.Gate{Kind: netlist.Const1, Name: "const1"})
+	return b
+}
+
+// Build checks that every register and forward bus has been driven and
+// that the netlist is structurally valid, and returns the netlist.
+func (b *Builder) Build() (*netlist.Netlist, error) {
+	if len(b.forwards) > 0 {
+		names := make([]string, 0, len(b.forwards))
+		for _, name := range b.forwards {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		return nil, fmt.Errorf("builder: forward bus nets never driven: %s", strings.Join(names, ", "))
+	}
+	for i := range b.N.Gates {
+		g := &b.N.Gates[i]
+		if g.Kind == netlist.Dff && g.In[0] == netlist.None {
+			return nil, fmt.Errorf("builder: register %q never driven", b.regs[Wire(i)])
+		}
+	}
+	if err := b.N.Validate(); err != nil {
+		return nil, fmt.Errorf("builder: %w", err)
+	}
+	return b.N, nil
+}
+
+// Scope runs fn with name pushed onto the hierarchical module path.
+// Gates created inside are attributed to the joined path; nested calls
+// build paths like "frontend/decoder". Re-entering a path is allowed
+// and attributes to the same module.
+func (b *Builder) Scope(name string, fn func()) {
+	oldScope, oldModule := b.scope, b.module
+	next := make([]string, len(oldScope), len(oldScope)+1)
+	copy(next, oldScope)
+	b.scope = append(next, name)
+	b.module = b.N.AddModule(strings.Join(b.scope, "/"))
+	fn()
+	b.scope, b.module = oldScope, oldModule
+}
+
+// AtRoot runs fn with the scope temporarily reset to the root module, so
+// helpers called from inside a module can attribute shared glue (e.g.
+// address decode) to its true owner via a fresh Scope.
+func (b *Builder) AtRoot(fn func()) {
+	oldScope, oldModule := b.scope, b.module
+	b.scope, b.module = nil, 0
+	fn()
+	b.scope, b.module = oldScope, oldModule
+}
+
+// qualName prefixes name with the current scope path.
+func (b *Builder) qualName(name string) string {
+	if len(b.scope) == 0 {
+		return name
+	}
+	return strings.Join(b.scope, "/") + "/" + name
+}
+
+// constOf returns 0 or 1 for the canonical constant nets, -1 otherwise.
+func (b *Builder) constOf(w Wire) int {
+	switch b.N.Gates[w].Kind {
+	case netlist.Const0:
+		return 0
+	case netlist.Const1:
+		return 1
+	}
+	return -1
+}
+
+// add appends one gate in the current module.
+func (b *Builder) add(k netlist.Kind, in [3]Wire) Wire {
+	return b.N.Add(netlist.Gate{Kind: k, In: in, Module: b.module})
+}
+
+// Low returns the constant-0 net.
+func (b *Builder) Low() Wire { return b.c0 }
+
+// High returns the constant-1 net.
+func (b *Builder) High() Wire { return b.c1 }
+
+// Input creates a named primary input and returns its net.
+func (b *Builder) Input(name string) Wire {
+	return b.N.Add(netlist.Gate{Kind: netlist.Input, Module: b.module, Name: b.qualName(name)})
+}
+
+// InputBus creates an n-bit primary input bus named name[0..n-1].
+func (b *Builder) InputBus(name string, n int) Bus {
+	out := make(Bus, n)
+	for i := range out {
+		out[i] = b.Input(fmt.Sprintf("%s[%d]", name, i))
+	}
+	return out
+}
+
+// Output declares net w as the primary output named name.
+func (b *Builder) Output(name string, w Wire) {
+	b.N.MarkOutput(name, w)
+}
+
+// OutputBus declares bus as the primary outputs name[0..len-1].
+func (b *Builder) OutputBus(name string, bus Bus) {
+	for i, w := range bus {
+		b.N.MarkOutput(fmt.Sprintf("%s[%d]", name, i), w)
+	}
+}

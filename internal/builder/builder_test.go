@@ -1,0 +1,451 @@
+package builder_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"bespoke/internal/builder"
+	"bespoke/internal/logic"
+	"bespoke/internal/sim"
+)
+
+// comb wraps a purely combinational circuit in a simulator for
+// drive/settle/read testing.
+func comb(t *testing.T, b *builder.Builder) *sim.Sim {
+	t.Helper()
+	s, err := sim.New(b.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Reset()
+	return s
+}
+
+// val reads a settled bus as a concrete integer.
+func val(t *testing.T, s *sim.Sim, bus builder.Bus) uint64 {
+	t.Helper()
+	var out uint64
+	for i, id := range bus {
+		switch s.Val[id] {
+		case logic.One:
+			out |= 1 << uint(i)
+		case logic.Zero:
+		default:
+			t.Fatalf("bit %d of bus is X", i)
+		}
+	}
+	return out
+}
+
+func TestAddSubIncExhaustive(t *testing.T) {
+	const w = 4
+	b := builder.New()
+	x := b.InputBus("x", w)
+	y := b.InputBus("y", w)
+	cin := b.Input("cin")
+	sum, cout := b.Add(x, y, cin)
+	diff, noBorrow := b.Sub(x, y)
+	inc, incC := b.Inc(x)
+	s := comb(t, b)
+	for xv := uint64(0); xv < 1<<w; xv++ {
+		for yv := uint64(0); yv < 1<<w; yv++ {
+			for cv := uint64(0); cv < 2; cv++ {
+				s.DriveBus(x, logic.KnownWord(uint16(xv)))
+				s.DriveBus(y, logic.KnownWord(uint16(yv)))
+				s.Drive(cin, logic.FromBool(cv == 1))
+				s.Settle()
+				full := xv + yv + cv
+				if got := val(t, s, sum); got != full&(1<<w-1) {
+					t.Fatalf("Add(%d,%d,%d) = %d, want %d", xv, yv, cv, got, full&(1<<w-1))
+				}
+				if got := val(t, s, builder.Bus{cout}); got != full>>w {
+					t.Fatalf("Add(%d,%d,%d) carry = %d, want %d", xv, yv, cv, got, full>>w)
+				}
+				if got := val(t, s, diff); got != (xv-yv)&(1<<w-1) {
+					t.Fatalf("Sub(%d,%d) = %d, want %d", xv, yv, got, (xv-yv)&(1<<w-1))
+				}
+				wantNB := uint64(0)
+				if xv >= yv {
+					wantNB = 1
+				}
+				if got := val(t, s, builder.Bus{noBorrow}); got != wantNB {
+					t.Fatalf("Sub(%d,%d) carry = %d, want %d", xv, yv, got, wantNB)
+				}
+				if got := val(t, s, inc); got != (xv+1)&(1<<w-1) {
+					t.Fatalf("Inc(%d) = %d, want %d", xv, got, (xv+1)&(1<<w-1))
+				}
+				wantIC := uint64(0)
+				if xv == 1<<w-1 {
+					wantIC = 1
+				}
+				if got := val(t, s, builder.Bus{incC}); got != wantIC {
+					t.Fatalf("Inc(%d) carry = %d, want %d", xv, got, wantIC)
+				}
+			}
+		}
+	}
+}
+
+func TestEqConstIsZeroEqBExhaustive(t *testing.T) {
+	const w = 4
+	b := builder.New()
+	x := b.InputBus("x", w)
+	y := b.InputBus("y", w)
+	eqs := make(builder.Bus, 1<<w)
+	for k := range eqs {
+		eqs[k] = b.EqConst(x, uint64(k))
+	}
+	zero := b.IsZero(x)
+	orr := b.OrReduce(x)
+	eqxy := b.EqB(x, y)
+	s := comb(t, b)
+	for xv := uint64(0); xv < 1<<w; xv++ {
+		for yv := uint64(0); yv < 1<<w; yv++ {
+			s.DriveBus(x, logic.KnownWord(uint16(xv)))
+			s.DriveBus(y, logic.KnownWord(uint16(yv)))
+			s.Settle()
+			for k := range eqs {
+				want := uint64(0)
+				if uint64(k) == xv {
+					want = 1
+				}
+				if got := val(t, s, builder.Bus{eqs[k]}); got != want {
+					t.Fatalf("EqConst(%d, %d) = %d, want %d", xv, k, got, want)
+				}
+			}
+			wantZ, wantO, wantE := uint64(0), uint64(1), uint64(0)
+			if xv == 0 {
+				wantZ, wantO = 1, 0
+			}
+			if xv == yv {
+				wantE = 1
+			}
+			if got := val(t, s, builder.Bus{zero}); got != wantZ {
+				t.Fatalf("IsZero(%d) = %d", xv, got)
+			}
+			if got := val(t, s, builder.Bus{orr}); got != wantO {
+				t.Fatalf("OrReduce(%d) = %d", xv, got)
+			}
+			if got := val(t, s, builder.Bus{eqxy}); got != wantE {
+				t.Fatalf("EqB(%d,%d) = %d", xv, yv, got)
+			}
+		}
+	}
+}
+
+func TestDecodeOneHot(t *testing.T) {
+	const w = 3
+	b := builder.New()
+	x := b.InputBus("x", w)
+	dec := b.Decode(x)
+	if len(dec) != 1<<w {
+		t.Fatalf("Decode width = %d, want %d", len(dec), 1<<w)
+	}
+	s := comb(t, b)
+	for xv := uint64(0); xv < 1<<w; xv++ {
+		s.DriveBus(x, logic.KnownWord(uint16(xv)))
+		s.Settle()
+		if got := val(t, s, dec); got != 1<<xv {
+			t.Fatalf("Decode(%d) = %#b, want one-hot %#b", xv, got, 1<<xv)
+		}
+	}
+}
+
+func TestMuxTreeSelect(t *testing.T) {
+	b := builder.New()
+	sel := b.InputBus("sel", 2)
+	items := make([]builder.Bus, 4)
+	for i := range items {
+		items[i] = b.InputBus(fmt.Sprintf("it%d", i), 4)
+	}
+	out := b.MuxTree(sel, items)
+	s := comb(t, b)
+	// Distinct values per leg so a wrong select is visible.
+	vals := []uint16{0x3, 0x5, 0x9, 0xC}
+	for i, it := range items {
+		s.DriveBus(it, logic.KnownWord(vals[i]))
+	}
+	for sv := uint64(0); sv < 4; sv++ {
+		s.DriveBus(sel, logic.KnownWord(uint16(sv)))
+		s.Settle()
+		if got := val(t, s, out); got != uint64(vals[sv]) {
+			t.Fatalf("MuxTree(sel=%d) = %#x, want %#x", sv, got, vals[sv])
+		}
+	}
+}
+
+func TestRegisterResetAndEnable(t *testing.T) {
+	b := builder.New()
+	en := b.Input("en")
+	r := b.Register("r", 4, 0xA)
+	next, _ := b.Inc(r.Q)
+	b.SetNextEn(r, en, next)
+	free := b.Register("free", 4, 0x3)
+	fn, _ := b.Inc(free.Q)
+	b.SetNext(free, fn)
+	if _, err := b.Build(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(b.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Reset()
+	s.Drive(en, logic.Zero)
+	s.Settle()
+	if got := val(t, s, r.Q); got != 0xA {
+		t.Fatalf("after reset r = %#x, want 0xA", got)
+	}
+	if got := val(t, s, free.Q); got != 0x3 {
+		t.Fatalf("after reset free = %#x, want 0x3", got)
+	}
+	// Enable low: r holds while free counts.
+	s.Step()
+	s.Step()
+	s.Settle()
+	if got := val(t, s, r.Q); got != 0xA {
+		t.Fatalf("en=0 after 2 cycles r = %#x, want 0xA", got)
+	}
+	if got := val(t, s, free.Q); got != 0x5 {
+		t.Fatalf("free after 2 cycles = %#x, want 0x5", got)
+	}
+	// Enable high: r increments each cycle, wrapping past 0xF.
+	s.Drive(en, logic.One)
+	for i := 1; i <= 8; i++ {
+		s.Step()
+		s.Settle()
+		if got, want := val(t, s, r.Q), (0xA+uint64(i))&0xF; got != want {
+			t.Fatalf("en=1 cycle %d: r = %#x, want %#x", i, got, want)
+		}
+	}
+}
+
+func TestRegisterNaming(t *testing.T) {
+	b := builder.New()
+	root := b.Register("cnt", 2, 0)
+	var scoped builder.Reg
+	b.Scope("top", func() {
+		b.Scope("sub", func() {
+			scoped = b.Register("cnt", 1, 0)
+		})
+	})
+	if got := b.N.Gates[root.Q[0]].Name; got != "cnt[0]" {
+		t.Errorf("root register bit named %q, want cnt[0]", got)
+	}
+	if got := b.N.Gates[root.Q[1]].Name; got != "cnt[1]" {
+		t.Errorf("root register bit named %q, want cnt[1]", got)
+	}
+	if got := b.N.Gates[scoped.Q[0]].Name; got != "top/sub/cnt[0]" {
+		t.Errorf("scoped register bit named %q, want top/sub/cnt[0]", got)
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	b := builder.New()
+	x := b.Input("x")
+	if got := b.And(x, b.High()); got != x {
+		t.Error("And(x,1) did not fold to x")
+	}
+	if got := b.And(x, b.Low()); got != b.Low() {
+		t.Error("And(x,0) did not fold to 0")
+	}
+	if got := b.Or(x, b.Low()); got != x {
+		t.Error("Or(x,0) did not fold to x")
+	}
+	if got := b.Or(x, b.High()); got != b.High() {
+		t.Error("Or(x,1) did not fold to 1")
+	}
+	if got := b.Xor(x, b.Low()); got != x {
+		t.Error("Xor(x,0) did not fold to x")
+	}
+	if got := b.Xnor(x, b.High()); got != x {
+		t.Error("Xnor(x,1) did not fold to x")
+	}
+	if got := b.Xor(x, x); got != b.Low() {
+		t.Error("Xor(x,x) did not fold to 0")
+	}
+	y := b.Input("y")
+	if got := b.Mux(b.Low(), x, y); got != x {
+		t.Error("Mux(sel=0) did not fold to first operand")
+	}
+	if got := b.Mux(b.High(), x, y); got != y {
+		t.Error("Mux(sel=1) did not fold to second operand")
+	}
+	if got := b.Mux(x, b.Low(), b.High()); got != x {
+		t.Error("Mux(sel,0,1) did not fold to sel")
+	}
+	if got := b.Mux(x, y, y); got != y {
+		t.Error("Mux(sel,y,y) did not fold to y")
+	}
+	// Structural identities must NOT fold: described gates are emitted.
+	before := len(b.N.Gates)
+	n1 := b.Not(x)
+	n2 := b.Not(n1)
+	if n2 == x || len(b.N.Gates) != before+2 {
+		t.Error("double inverter was structurally rewritten")
+	}
+}
+
+func TestForwardBus(t *testing.T) {
+	b := builder.New()
+	x := b.Input("x")
+	fwd := b.ForwardBus("late", 2)
+	// Consume before the producer exists.
+	use := b.And(fwd[0], fwd[1])
+	b.Output("o", use)
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "never driven") {
+		t.Fatalf("Build with undriven forward: err = %v, want never-driven", err)
+	}
+	b.DriveBus(fwd, builder.Bus{x, b.High()})
+	if _, err := b.Build(); err != nil {
+		t.Fatalf("Build after DriveBus: %v", err)
+	}
+	s := comb(t, b)
+	s.Drive(x, logic.One)
+	s.Settle()
+	if got := val(t, s, builder.Bus{use}); got != 1 {
+		t.Fatalf("forward-bus AND = %d, want 1", got)
+	}
+}
+
+func TestBuildReportsUndrivenRegister(t *testing.T) {
+	b := builder.New()
+	r := b.Register("orphan", 1, 0)
+	b.Output("q", r.Q[0])
+	_, err := b.Build()
+	if err == nil || !strings.Contains(err.Error(), "orphan") {
+		t.Fatalf("Build with undriven register: err = %v, want mention of orphan", err)
+	}
+}
+
+func TestMisusePanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func(b *builder.Builder)
+	}{
+		{"AndB width mismatch", func(b *builder.Builder) {
+			b.AndB(b.InputBus("a", 2), b.InputBus("c", 3))
+		}},
+		{"MuxB width mismatch", func(b *builder.Builder) {
+			b.MuxB(b.Input("s"), b.InputBus("a", 2), b.InputBus("c", 3))
+		}},
+		{"And no operands", func(b *builder.Builder) { b.And() }},
+		{"Or no operands", func(b *builder.Builder) { b.Or() }},
+		{"OrReduce empty", func(b *builder.Builder) { b.OrReduce(nil) }},
+		{"BusConst overflow", func(b *builder.Builder) { b.BusConst(0x10, 4) }},
+		{"EqConst overflow", func(b *builder.Builder) {
+			b.EqConst(b.InputBus("a", 4), 0x10)
+		}},
+		{"Ext narrowing", func(b *builder.Builder) {
+			b.Ext(b.InputBus("a", 4), 2)
+		}},
+		{"SignExt narrowing", func(b *builder.Builder) {
+			b.SignExt(b.InputBus("a", 4), 2)
+		}},
+		{"Register reset overflow", func(b *builder.Builder) {
+			b.Register("r", 2, 4)
+		}},
+		{"SetNext width mismatch", func(b *builder.Builder) {
+			r := b.Register("r", 2, 0)
+			b.SetNext(r, b.InputBus("a", 3))
+		}},
+		{"SetNext twice", func(b *builder.Builder) {
+			r := b.Register("r", 1, 0)
+			v := b.InputBus("a", 1)
+			b.SetNext(r, v)
+			b.SetNext(r, v)
+		}},
+		{"SetNext on non-register", func(b *builder.Builder) {
+			w := b.Input("a")
+			b.SetNext(builder.Reg{Q: builder.Bus{w}}, builder.Bus{b.Low()})
+		}},
+		{"MuxTree item count", func(b *builder.Builder) {
+			b.MuxTree(b.InputBus("s", 2), []builder.Bus{b.InputBus("a", 1)})
+		}},
+		{"MuxTree item width", func(b *builder.Builder) {
+			b.MuxTree(b.InputBus("s", 1), []builder.Bus{b.InputBus("a", 1), b.InputBus("c", 2)})
+		}},
+		{"DriveBus non-forward", func(b *builder.Builder) {
+			w := b.Input("a")
+			b.DriveBus(builder.Bus{w}, builder.Bus{b.Low()})
+		}},
+		{"DriveBus twice", func(b *builder.Builder) {
+			fwd := b.ForwardBus("f", 1)
+			b.DriveBus(fwd, builder.Bus{b.Low()})
+			b.DriveBus(fwd, builder.Bus{b.High()})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", tc.name)
+				}
+			}()
+			tc.fn(builder.New())
+		})
+	}
+}
+
+func TestCatExtRepeat(t *testing.T) {
+	b := builder.New()
+	lo := b.InputBus("lo", 2)
+	hi := b.InputBus("hi", 2)
+	cat := builder.Cat(lo, hi)
+	if len(cat) != 4 || cat[0] != lo[0] || cat[3] != hi[1] {
+		t.Fatal("Cat is not LSB-first concatenation")
+	}
+	ext := b.Ext(lo, 4)
+	se := b.SignExt(lo, 4)
+	rep := b.Repeat(lo[0], 3)
+	s := comb(t, b)
+	for v := uint64(0); v < 4; v++ {
+		s.DriveBus(lo, logic.KnownWord(uint16(v)))
+		s.Settle()
+		if got := val(t, s, ext); got != v {
+			t.Fatalf("Ext(%d) = %d", v, got)
+		}
+		wantSE := v
+		if v&2 != 0 {
+			wantSE |= 0xC
+		}
+		if got := val(t, s, se); got != wantSE {
+			t.Fatalf("SignExt(%d) = %d, want %d", v, got, wantSE)
+		}
+		wantRep := uint64(0)
+		if v&1 != 0 {
+			wantRep = 7
+		}
+		if got := val(t, s, rep); got != wantRep {
+			t.Fatalf("Repeat(bit0 of %d) = %d, want %d", v, got, wantRep)
+		}
+	}
+}
+
+func TestScopeModuleAttribution(t *testing.T) {
+	b := builder.New()
+	x := b.Input("x")
+	y := b.Input("y")
+	var inner builder.Wire
+	b.Scope("alu", func() {
+		b.Scope("adder", func() {
+			inner = b.And(x, y)
+		})
+	})
+	var after builder.Wire
+	b.Scope("alu", func() { after = b.Or(x, y) })
+	if got := b.N.ModuleOf(inner); got != "alu/adder" {
+		t.Errorf("inner gate module = %q, want alu/adder", got)
+	}
+	if got := b.N.ModuleOf(after); got != "alu" {
+		t.Errorf("sibling gate module = %q, want alu", got)
+	}
+	var root builder.Wire
+	b.Scope("outer", func() {
+		b.AtRoot(func() { root = b.Xor(x, y) })
+	})
+	if got := b.N.ModuleOf(root); got != "" {
+		t.Errorf("AtRoot gate module = %q, want root", got)
+	}
+}

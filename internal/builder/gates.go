@@ -1,0 +1,201 @@
+// Gate-level primitives: constant-folding 1- and 2-input cell
+// constructors plus the variadic balanced-tree reductions built on them.
+
+package builder
+
+import "bespoke/internal/netlist"
+
+// not1 lowers a 1-input NOT with constant folding.
+func (b *Builder) not1(a Wire) Wire {
+	switch b.constOf(a) {
+	case 0:
+		return b.c1
+	case 1:
+		return b.c0
+	}
+	return b.add(netlist.Not, [3]Wire{a})
+}
+
+// and2 lowers a 2-input AND with constant folding.
+func (b *Builder) and2(a, c Wire) Wire {
+	ca, cc := b.constOf(a), b.constOf(c)
+	switch {
+	case ca == 0 || cc == 0:
+		return b.c0
+	case ca == 1:
+		return c
+	case cc == 1:
+		return a
+	case a == c:
+		return a
+	}
+	return b.add(netlist.And, [3]Wire{a, c})
+}
+
+// or2 lowers a 2-input OR with constant folding.
+func (b *Builder) or2(a, c Wire) Wire {
+	ca, cc := b.constOf(a), b.constOf(c)
+	switch {
+	case ca == 1 || cc == 1:
+		return b.c1
+	case ca == 0:
+		return c
+	case cc == 0:
+		return a
+	case a == c:
+		return a
+	}
+	return b.add(netlist.Or, [3]Wire{a, c})
+}
+
+// xor2 lowers a 2-input XOR with constant folding.
+func (b *Builder) xor2(a, c Wire) Wire {
+	ca, cc := b.constOf(a), b.constOf(c)
+	switch {
+	case ca == 0:
+		return c
+	case cc == 0:
+		return a
+	case ca == 1:
+		return b.not1(c)
+	case cc == 1:
+		return b.not1(a)
+	case a == c:
+		return b.c0
+	}
+	return b.add(netlist.Xor, [3]Wire{a, c})
+}
+
+// xnor2 lowers a 2-input XNOR with constant folding.
+func (b *Builder) xnor2(a, c Wire) Wire {
+	ca, cc := b.constOf(a), b.constOf(c)
+	switch {
+	case ca == 1:
+		return c
+	case cc == 1:
+		return a
+	case ca == 0:
+		return b.not1(c)
+	case cc == 0:
+		return b.not1(a)
+	case a == c:
+		return b.c1
+	}
+	return b.add(netlist.Xnor, [3]Wire{a, c})
+}
+
+// mux lowers a 2:1 mux, out = sel ? bv : av, with constant folding.
+func (b *Builder) mux(sel, av, bv Wire) Wire {
+	switch b.constOf(sel) {
+	case 0:
+		return av
+	case 1:
+		return bv
+	}
+	if av == bv {
+		return av
+	}
+	ca, cb := b.constOf(av), b.constOf(bv)
+	switch {
+	case ca == 0 && cb == 1:
+		return sel
+	case ca == 1 && cb == 0:
+		return b.not1(sel)
+	case ca == 0:
+		return b.and2(sel, bv)
+	case ca == 1:
+		return b.or2(b.not1(sel), bv)
+	case cb == 0:
+		return b.and2(b.not1(sel), av)
+	case cb == 1:
+		return b.or2(sel, av)
+	}
+	return b.add(netlist.Mux, [3]Wire{av, bv, sel})
+}
+
+// reduce folds ws with f over a balanced binary tree.
+func reduce(f func(a, c Wire) Wire, ws []Wire) Wire {
+	switch len(ws) {
+	case 1:
+		return ws[0]
+	case 2:
+		return f(ws[0], ws[1])
+	}
+	mid := len(ws) / 2
+	return f(reduce(f, ws[:mid]), reduce(f, ws[mid:]))
+}
+
+// Buf inserts an explicit buffer (constant inputs pass through).
+func (b *Builder) Buf(a Wire) Wire {
+	if b.constOf(a) >= 0 {
+		return a
+	}
+	return b.add(netlist.Buf, [3]Wire{a})
+}
+
+// Not returns the complement of a.
+func (b *Builder) Not(a Wire) Wire { return b.not1(a) }
+
+// And returns the conjunction of all operands.
+func (b *Builder) And(ws ...Wire) Wire {
+	if len(ws) == 0 {
+		panic("builder: And of no operands")
+	}
+	return reduce(b.and2, ws)
+}
+
+// Or returns the disjunction of all operands.
+func (b *Builder) Or(ws ...Wire) Wire {
+	if len(ws) == 0 {
+		panic("builder: Or of no operands")
+	}
+	return reduce(b.or2, ws)
+}
+
+// Nand returns NOT(AND(ws...)). The 2-operand form emits a single Nand
+// cell.
+func (b *Builder) Nand(ws ...Wire) Wire {
+	if len(ws) == 2 {
+		a, c := ws[0], ws[1]
+		if b.constOf(a) < 0 && b.constOf(c) < 0 && a != c {
+			return b.add(netlist.Nand, [3]Wire{a, c})
+		}
+	}
+	return b.not1(b.And(ws...))
+}
+
+// Nor returns NOT(OR(ws...)). The 2-operand form emits a single Nor
+// cell.
+func (b *Builder) Nor(ws ...Wire) Wire {
+	if len(ws) == 2 {
+		a, c := ws[0], ws[1]
+		if b.constOf(a) < 0 && b.constOf(c) < 0 && a != c {
+			return b.add(netlist.Nor, [3]Wire{a, c})
+		}
+	}
+	return b.not1(b.Or(ws...))
+}
+
+// Xor returns the exclusive-or of all operands.
+func (b *Builder) Xor(ws ...Wire) Wire {
+	if len(ws) == 0 {
+		panic("builder: Xor of no operands")
+	}
+	return reduce(b.xor2, ws)
+}
+
+// Xnor returns NOT(XOR(ws...)); for two operands it emits a single Xnor
+// cell. A constant-1 operand folds to identity (xnor(d,1) == d), the
+// dual of the Xor rules.
+func (b *Builder) Xnor(ws ...Wire) Wire {
+	switch len(ws) {
+	case 0:
+		panic("builder: Xnor of no operands")
+	case 1:
+		return b.not1(ws[0])
+	}
+	return b.xnor2(b.Xor(ws[:len(ws)-1]...), ws[len(ws)-1])
+}
+
+// Mux returns sel ? bv : av.
+func (b *Builder) Mux(sel, av, bv Wire) Wire { return b.mux(sel, av, bv) }

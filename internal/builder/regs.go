@@ -1,0 +1,97 @@
+// State and forward references: registers (Dff banks with reset and
+// write enable) and forward buses for cross-module references.
+
+package builder
+
+import (
+	"fmt"
+
+	"bespoke/internal/logic"
+	"bespoke/internal/netlist"
+)
+
+// Register creates a width-bit bank of flip-flops named name[i] under
+// the current scope, with the given synchronous reset value. The D
+// inputs are left open; connect them with SetNext or SetNextEn before
+// Build. It panics if the reset value does not fit.
+func (b *Builder) Register(name string, width int, reset uint64) Reg {
+	if width < 64 && reset>>uint(width) != 0 {
+		panic(fmt.Sprintf("builder: Register %q reset %#x exceeds %d bits", name, reset, width))
+	}
+	q := make(Bus, width)
+	for i := range q {
+		id := b.N.Add(netlist.Gate{
+			Kind:   netlist.Dff,
+			In:     [3]Wire{netlist.None, netlist.None, netlist.None},
+			Module: b.module,
+			Reset:  logic.FromBool(reset>>uint(i)&1 == 1),
+			Name:   b.qualName(fmt.Sprintf("%s[%d]", name, i)),
+		})
+		q[i] = id
+		b.regs[id] = b.N.Gates[id].Name
+	}
+	return Reg{Q: q}
+}
+
+// SetNext connects the register's D inputs to v. Each register bit may
+// be driven exactly once.
+func (b *Builder) SetNext(r Reg, v Bus) {
+	sameWidth("SetNext", r.Q, v)
+	for i, id := range r.Q {
+		g := &b.N.Gates[id]
+		if g.Kind != netlist.Dff {
+			panic(fmt.Sprintf("builder: SetNext on non-register net %d (%s)", id, g.Kind))
+		}
+		if g.In[0] != netlist.None {
+			panic(fmt.Sprintf("builder: register %q driven twice", g.Name))
+		}
+		g.In[0] = v[i]
+	}
+	b.N.InvalidateDerived()
+}
+
+// SetNextEn connects the register's D inputs to v qualified by the
+// write enable en: the register loads v when en is 1 and holds its
+// value otherwise.
+func (b *Builder) SetNextEn(r Reg, en Wire, v Bus) {
+	sameWidth("SetNextEn", r.Q, v)
+	b.SetNext(r, b.MuxB(en, r.Q, v))
+}
+
+// ForwardBus creates an n-bit bus that may be consumed immediately and
+// driven later with DriveBus, enabling forward references between
+// modules during elaboration. The placeholder nets are buffers named
+// name[i] under the current scope; Build fails if any is left undriven.
+func (b *Builder) ForwardBus(name string, n int) Bus {
+	out := make(Bus, n)
+	for i := range out {
+		id := b.N.Add(netlist.Gate{
+			Kind:   netlist.Buf,
+			In:     [3]Wire{netlist.None, netlist.None, netlist.None},
+			Module: b.module,
+			Name:   b.qualName(fmt.Sprintf("%s[%d]", name, i)),
+		})
+		out[i] = id
+		b.forwards[id] = b.N.Gates[id].Name
+	}
+	return out
+}
+
+// DriveBus connects the producer of a forward bus. Each forward net may
+// be driven exactly once; driving anything that is not an undriven
+// forward bus panics.
+func (b *Builder) DriveBus(fwd, v Bus) {
+	sameWidth("DriveBus", fwd, v)
+	for i, id := range fwd {
+		if _, ok := b.forwards[id]; !ok {
+			g := &b.N.Gates[id]
+			if g.Kind == netlist.Buf && g.In[0] != netlist.None {
+				panic(fmt.Sprintf("builder: forward bus net %q driven twice", g.Name))
+			}
+			panic(fmt.Sprintf("builder: DriveBus target net %d is not a forward bus", id))
+		}
+		b.N.Gates[id].In[0] = v[i]
+		delete(b.forwards, id)
+	}
+	b.N.InvalidateDerived()
+}

@@ -1,0 +1,261 @@
+// Word-level operators: bitwise bus logic, mux trees, one-hot
+// decode, ripple-carry arithmetic, comparisons, constants and
+// width-changing utilities.
+
+package builder
+
+import "fmt"
+
+// sameWidth panics unless the buses have equal width.
+func sameWidth(op string, a, c Bus) {
+	if len(a) != len(c) {
+		panic(fmt.Sprintf("builder: %s width mismatch: %d vs %d", op, len(a), len(c)))
+	}
+}
+
+// AndB returns the bitwise AND of two equal-width buses.
+func (b *Builder) AndB(x, y Bus) Bus {
+	sameWidth("AndB", x, y)
+	out := make(Bus, len(x))
+	for i := range out {
+		out[i] = b.and2(x[i], y[i])
+	}
+	return out
+}
+
+// OrB returns the bitwise OR of two equal-width buses.
+func (b *Builder) OrB(x, y Bus) Bus {
+	sameWidth("OrB", x, y)
+	out := make(Bus, len(x))
+	for i := range out {
+		out[i] = b.or2(x[i], y[i])
+	}
+	return out
+}
+
+// XorB returns the bitwise XOR of two equal-width buses.
+func (b *Builder) XorB(x, y Bus) Bus {
+	sameWidth("XorB", x, y)
+	out := make(Bus, len(x))
+	for i := range out {
+		out[i] = b.xor2(x[i], y[i])
+	}
+	return out
+}
+
+// NotB returns the bitwise complement of x.
+func (b *Builder) NotB(x Bus) Bus {
+	out := make(Bus, len(x))
+	for i := range out {
+		out[i] = b.not1(x[i])
+	}
+	return out
+}
+
+// AndW gates every bit of x with w.
+func (b *Builder) AndW(x Bus, w Wire) Bus {
+	out := make(Bus, len(x))
+	for i := range out {
+		out[i] = b.and2(x[i], w)
+	}
+	return out
+}
+
+// MuxB returns the bitwise 2:1 mux sel ? y : x over equal-width buses.
+func (b *Builder) MuxB(sel Wire, x, y Bus) Bus {
+	sameWidth("MuxB", x, y)
+	out := make(Bus, len(x))
+	for i := range out {
+		out[i] = b.mux(sel, x[i], y[i])
+	}
+	return out
+}
+
+// MuxTree returns items[sel] for a len(sel)-bit select; it requires
+// exactly 1<<len(sel) equal-width items. The tree splits on the most
+// significant select bit first, so each select bit drives one mux layer.
+func (b *Builder) MuxTree(sel Bus, items []Bus) Bus {
+	if len(items) != 1<<uint(len(sel)) {
+		panic(fmt.Sprintf("builder: MuxTree over %d select bits needs %d items, got %d",
+			len(sel), 1<<uint(len(sel)), len(items)))
+	}
+	width := len(items[0])
+	for _, it := range items {
+		if len(it) != width {
+			panic(fmt.Sprintf("builder: MuxTree item width mismatch: %d vs %d", len(it), width))
+		}
+	}
+	return b.muxTree(sel, items)
+}
+
+func (b *Builder) muxTree(sel Bus, items []Bus) Bus {
+	if len(sel) == 0 {
+		return items[0]
+	}
+	msb := sel[len(sel)-1]
+	half := len(items) / 2
+	lo := b.muxTree(sel[:len(sel)-1], items[:half])
+	hi := b.muxTree(sel[:len(sel)-1], items[half:])
+	return b.MuxB(msb, lo, hi)
+}
+
+// Decode returns the one-hot decode of sel: out[i] is 1 exactly when the
+// select value equals i. The result has 1<<len(sel) bits.
+func (b *Builder) Decode(sel Bus) Bus {
+	inv := make(Bus, len(sel))
+	for i, w := range sel {
+		inv[i] = b.not1(w)
+	}
+	out := make(Bus, 1<<uint(len(sel)))
+	terms := make([]Wire, len(sel))
+	for i := range out {
+		for j := range sel {
+			if i>>uint(j)&1 == 1 {
+				terms[j] = sel[j]
+			} else {
+				terms[j] = inv[j]
+			}
+		}
+		if len(sel) == 0 {
+			out[i] = b.c1
+			continue
+		}
+		out[i] = reduce(b.and2, terms)
+	}
+	return out
+}
+
+// Add returns the ripple-carry sum x + y + cin and the carry out. The
+// operands must have equal width; the sum has the same width.
+func (b *Builder) Add(x, y Bus, cin Wire) (Bus, Wire) {
+	sameWidth("Add", x, y)
+	sum := make(Bus, len(x))
+	c := cin
+	for i := range x {
+		axb := b.xor2(x[i], y[i])
+		sum[i] = b.xor2(axb, c)
+		c = b.or2(b.and2(x[i], y[i]), b.and2(axb, c))
+	}
+	return sum, c
+}
+
+// Sub returns x - y (two's complement) and the carry out, which is 1
+// when no borrow occurred (x >= y unsigned).
+func (b *Builder) Sub(x, y Bus) (Bus, Wire) {
+	sameWidth("Sub", x, y)
+	return b.Add(x, b.NotB(y), b.c1)
+}
+
+// Inc returns x + 1 and the carry out.
+func (b *Builder) Inc(x Bus) (Bus, Wire) {
+	return b.Add(x, b.BusConst(0, len(x)), b.c1)
+}
+
+// EqB returns 1 when the two equal-width buses carry the same value.
+func (b *Builder) EqB(x, y Bus) Wire {
+	sameWidth("EqB", x, y)
+	terms := make([]Wire, len(x))
+	for i := range x {
+		terms[i] = b.not1(b.xor2(x[i], y[i]))
+	}
+	return reduce(b.and2, terms)
+}
+
+// EqConst returns 1 when bus x equals the constant v. It panics if v
+// does not fit in the bus width.
+func (b *Builder) EqConst(x Bus, v uint64) Wire {
+	if len(x) < 64 && v>>uint(len(x)) != 0 {
+		panic(fmt.Sprintf("builder: EqConst value %#x exceeds %d bits", v, len(x)))
+	}
+	terms := make([]Wire, len(x))
+	for i := range x {
+		if v>>uint(i)&1 == 1 {
+			terms[i] = x[i]
+		} else {
+			terms[i] = b.not1(x[i])
+		}
+	}
+	return reduce(b.and2, terms)
+}
+
+// IsZero returns 1 when every bit of x is 0.
+func (b *Builder) IsZero(x Bus) Wire {
+	return b.not1(b.OrReduce(x))
+}
+
+// OrReduce returns the OR of all bits of x.
+func (b *Builder) OrReduce(x Bus) Wire {
+	if len(x) == 0 {
+		panic("builder: OrReduce of empty bus")
+	}
+	return reduce(b.or2, x)
+}
+
+// BusConst returns an n-bit bus carrying the constant v. It panics if v
+// does not fit in n bits.
+func (b *Builder) BusConst(v uint64, n int) Bus {
+	if n < 64 && v>>uint(n) != 0 {
+		panic(fmt.Sprintf("builder: BusConst value %#x exceeds %d bits", v, n))
+	}
+	out := make(Bus, n)
+	for i := range out {
+		if v>>uint(i)&1 == 1 {
+			out[i] = b.c1
+		} else {
+			out[i] = b.c0
+		}
+	}
+	return out
+}
+
+// Ext zero-extends x to n bits (n >= len(x)).
+func (b *Builder) Ext(x Bus, n int) Bus {
+	if n < len(x) {
+		panic(fmt.Sprintf("builder: Ext from %d to narrower %d bits", len(x), n))
+	}
+	out := make(Bus, n)
+	copy(out, x)
+	for i := len(x); i < n; i++ {
+		out[i] = b.c0
+	}
+	return out
+}
+
+// SignExt sign-extends x to n bits (n >= len(x), len(x) > 0).
+func (b *Builder) SignExt(x Bus, n int) Bus {
+	if len(x) == 0 {
+		panic("builder: SignExt of empty bus")
+	}
+	if n < len(x) {
+		panic(fmt.Sprintf("builder: SignExt from %d to narrower %d bits", len(x), n))
+	}
+	out := make(Bus, n)
+	copy(out, x)
+	for i := len(x); i < n; i++ {
+		out[i] = x[len(x)-1]
+	}
+	return out
+}
+
+// Repeat returns an n-bit bus with every bit equal to w.
+func (b *Builder) Repeat(w Wire, n int) Bus {
+	out := make(Bus, n)
+	for i := range out {
+		out[i] = w
+	}
+	return out
+}
+
+// Cat concatenates buses LSB-first: the first operand supplies the low
+// bits of the result.
+func Cat(parts ...Bus) Bus {
+	n := 0
+	for _, p := range parts {
+		n += len(p)
+	}
+	out := make(Bus, 0, n)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
