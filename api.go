@@ -15,6 +15,7 @@
 package bespoke
 
 import (
+	"context"
 	"io"
 
 	"bespoke/internal/asm"
@@ -39,6 +40,13 @@ type Result = core.Result
 // Options tunes the flow (analysis limits, clock period, cell library).
 type Options = core.Options
 
+// FlowError is the structured failure of one pipeline stage. Every error
+// returned by the tailoring entry points — including recovered panics
+// from malformed inputs — is a *FlowError; its Stage names the pipeline
+// stage that failed and Unwrap exposes the cause (context errors, the
+// symexec watchdog's *symexec.LimitError, ...).
+type FlowError = core.FlowError
+
 // Assemble translates MSP430 assembly (the dialect documented in
 // internal/asm) into a Program.
 func Assemble(source string) (*Program, error) { return asm.Assemble(source) }
@@ -48,30 +56,60 @@ func Assemble(source string) (*Program, error) { return asm.Assemble(source) }
 // re-synthesizes, places, and signs off timing and power against the
 // general purpose baseline. A nil workload measures power on a plain
 // run of the program.
+//
+// Tailor never honors cancellation (it runs under context.Background());
+// services that need a bounded, cancellable flow use TailorContext.
 func Tailor(prog *Program, w *Workload) (*Result, error) {
-	return core.Tailor(prog, w, core.Options{})
+	return core.Tailor(context.Background(), prog, w, core.Options{})
+}
+
+// TailorContext is Tailor with explicit flow options under a caller
+// context. Cancellation and deadlines are honored inside the analysis and
+// simulation hot loops (checked every 1024 simulated cycles), so a
+// serving layer can bound the wall-clock cost of any request; the
+// returned error wraps context.Canceled or context.DeadlineExceeded.
+func TailorContext(ctx context.Context, prog *Program, w *Workload, opts Options) (*Result, error) {
+	return core.Tailor(ctx, prog, w, opts)
 }
 
 // TailorWithOptions is Tailor with explicit flow options.
 func TailorWithOptions(prog *Program, w *Workload, opts Options) (*Result, error) {
-	return core.Tailor(prog, w, opts)
+	return core.Tailor(context.Background(), prog, w, opts)
 }
 
 // TailorMulti produces one bespoke processor supporting every given
 // application (the union of their exercisable gates, Section 3.5).
 func TailorMulti(progs []*Program, ws []*Workload) (*Result, error) {
-	return core.TailorMulti(progs, ws, core.Options{})
+	return core.TailorMulti(context.Background(), progs, ws, core.Options{})
+}
+
+// TailorMultiContext is TailorMulti under a caller context with explicit
+// options, with the same cancellation semantics as TailorContext.
+func TailorMultiContext(ctx context.Context, progs []*Program, ws []*Workload, opts Options) (*Result, error) {
+	return core.TailorMulti(ctx, progs, ws, opts)
 }
 
 // SupportsUpdate reports whether the bespoke design tailored to base
 // would execute update correctly: every gate the update can exercise
 // must be kept (the paper's Section 3.5 in-field update test).
 func SupportsUpdate(base []*Program, update *Program) (bool, error) {
-	ba, err := core.UnionAnalysis(base, symexec.Options{})
+	return SupportsUpdateContext(context.Background(), base, update, Options{})
+}
+
+// SupportsUpdateContext is SupportsUpdate under a caller context with the
+// flow options propagated into both activity analyses (the base union and
+// the update), so a tuned MaxCycles or MergeThreshold applies to the whole
+// in-field update decision rather than only to the original tailoring.
+func SupportsUpdateContext(ctx context.Context, base []*Program, update *Program, opts Options) (bool, error) {
+	ba, err := core.UnionAnalysis(ctx, base, opts.Sym)
 	if err != nil {
 		return false, err
 	}
-	ua, _, err := symexec.Analyze(update, symexec.Options{})
+	// The second return (the freshly built core) is intentionally unused:
+	// the update decision is a pure set comparison over gate activity, and
+	// gate IDs align across builds because elaboration is deterministic —
+	// no netlist inspection is needed.
+	ua, _, err := symexec.Analyze(ctx, update, opts.Sym)
 	if err != nil {
 		return false, err
 	}

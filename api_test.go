@@ -2,6 +2,7 @@ package bespoke
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -77,5 +78,35 @@ func TestPublicAPITailorMulti(t *testing.T) {
 	}
 	if res.GateSavings <= 0 {
 		t.Error("multi-program tailoring saved nothing")
+	}
+}
+
+func TestMalformedInputNoPanic(t *testing.T) {
+	// A nil program is rejected at the flow boundary.
+	_, err := Tailor(nil, nil)
+	if err == nil {
+		t.Fatal("tailoring a nil program succeeded")
+	}
+	var fe *FlowError
+	if !errors.As(err, &fe) {
+		t.Fatalf("expected *FlowError, got %T: %v", err, err)
+	}
+	if fe.Stage != "init" {
+		t.Errorf("nil program failed in stage %q, want init", fe.Stage)
+	}
+
+	// An empty image has no reset vector: whatever breaks inside the
+	// flow (including panics) must surface as a staged *FlowError, never
+	// as a panic escaping the public API.
+	_, err = Tailor(&Program{}, nil)
+	if err == nil {
+		t.Fatal("tailoring an empty image succeeded")
+	}
+	fe = nil
+	if !errors.As(err, &fe) {
+		t.Fatalf("expected *FlowError, got %T: %v", err, err)
+	}
+	if fe.Stage == "" {
+		t.Error("FlowError has no stage")
 	}
 }

@@ -7,6 +7,7 @@ package bespoke
 // as a results table.
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -202,7 +203,7 @@ func BenchmarkGateSimulation(b *testing.B) {
 	var cycles uint64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tr, err := core.RunWorkload(c, p, bm.Workload(1))
+		tr, err := core.RunWorkload(context.Background(), c, p, bm.Workload(1))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -235,7 +236,7 @@ func BenchmarkSymbolicAnalysis(b *testing.B) {
 	p := bench.ByName("binSearch").MustProg()
 	var cyc uint64
 	for i := 0; i < b.N; i++ {
-		res, _, err := symexec.Analyze(p, symexec.Options{})
+		res, _, err := symexec.Analyze(context.Background(), p, symexec.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -247,7 +248,7 @@ func BenchmarkSymbolicAnalysis(b *testing.B) {
 // BenchmarkCutAndResynthesis measures the netlist transformation stages.
 func BenchmarkCutAndResynthesis(b *testing.B) {
 	p := bench.ByName("intAVG").MustProg()
-	res, c, err := symexec.Analyze(p, symexec.Options{})
+	res, c, err := symexec.Analyze(context.Background(), p, symexec.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -272,7 +273,7 @@ func BenchmarkTailorFlow(b *testing.B) {
 	bm := bench.ByName("div")
 	var savings float64
 	for i := 0; i < b.N; i++ {
-		res, err := core.Tailor(bm.MustProg(), bm.Workload(1), core.Options{})
+		res, err := core.Tailor(context.Background(), bm.MustProg(), bm.Workload(1), core.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -297,7 +298,7 @@ func BenchmarkAblation_MergeThreshold(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var untog float64
 			for i := 0; i < b.N; i++ {
-				res, c, err := symexec.Analyze(p, symexec.Options{MergeThreshold: th})
+				res, c, err := symexec.Analyze(context.Background(), p, symexec.Options{MergeThreshold: th})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -312,7 +313,7 @@ func BenchmarkAblation_MergeThreshold(b *testing.B) {
 // contribution ("toggled gates left with floating outputs ... removed").
 func BenchmarkAblation_NoResynthesis(b *testing.B) {
 	p := bench.ByName("intAVG").MustProg()
-	res, c, err := symexec.Analyze(p, symexec.Options{})
+	res, c, err := symexec.Analyze(context.Background(), p, symexec.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -345,14 +346,14 @@ func BenchmarkAblation_XPropagation(b *testing.B) {
 	b.Run("concrete", func(b *testing.B) {
 		c := cpu.Build()
 		for i := 0; i < b.N; i++ {
-			if _, err := core.RunWorkload(c, p, bm.Workload(1)); err != nil {
+			if _, err := core.RunWorkload(context.Background(), c, p, bm.Workload(1)); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("symbolic", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, _, err := symexec.Analyze(p, symexec.Options{}); err != nil {
+			if _, _, err := symexec.Analyze(context.Background(), p, symexec.Options{}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -365,7 +366,7 @@ func BenchmarkAblation_WireModel(b *testing.B) {
 	bm := bench.ByName("intAVG")
 	p := bm.MustProg()
 	c := cpu.Build()
-	tr, err := core.RunWorkload(c, p, bm.Workload(1))
+	tr, err := core.RunWorkload(context.Background(), c, p, bm.Workload(1))
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -11,6 +11,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -31,28 +33,66 @@ func main() {
 	def := flag.String("def", "", "write the bespoke placement as DEF to this file")
 	path := flag.Bool("path", false, "print the bespoke design's critical path")
 	check := flag.String("check", "", "check whether this update binary runs on the bespoke design for the given programs (Section 3.5)")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole flow (0 = unlimited)")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: bespoke [-coarse] [-verilog out.v] [-path] [-check update.s] prog.s [more.s ...]")
+		fmt.Fprintln(os.Stderr, "usage: bespoke [-coarse] [-verilog out.v] [-path] [-check update.s] [-timeout 30s] prog.s [more.s ...]")
 		os.Exit(2)
 	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	if *check != "" {
-		if err := runCheck(*check, flag.Args()); err != nil {
-			fmt.Fprintln(os.Stderr, "bespoke:", err)
-			os.Exit(1)
+		if err := runCheck(ctx, *check, flag.Args()); err != nil {
+			fatal(err)
 		}
 		return
 	}
-	if err := run(flag.Args(), *coarse, *verilog, *def, *path); err != nil {
-		fmt.Fprintln(os.Stderr, "bespoke:", err)
-		os.Exit(1)
+	if err := run(ctx, flag.Args(), *coarse, *verilog, *def, *path); err != nil {
+		fatal(err)
 	}
+}
+
+// fatal prints a stage-aware diagnostic for flow errors — which pipeline
+// stage failed, the offending gate when known, and the watchdog's
+// partial-progress numbers — instead of one opaque line, then exits.
+func fatal(err error) {
+	var fe *core.FlowError
+	if errors.As(err, &fe) {
+		fmt.Fprintf(os.Stderr, "bespoke: the %s stage failed\n", fe.Stage)
+		if fe.Gate != netlist.None {
+			fmt.Fprintf(os.Stderr, "bespoke:   at gate %d\n", fe.Gate)
+		}
+		var le *symexec.LimitError
+		switch {
+		case errors.As(err, &le):
+			fmt.Fprintf(os.Stderr, "bespoke:   analysis watchdog: %s\n", le.Reason)
+			fmt.Fprintf(os.Stderr, "bespoke:   progress: %d cycles, %d paths, %d branch sites, %d merges, %d worlds pending\n",
+				le.Cycles, le.Paths, le.Sites, le.Merges, le.Pending)
+			if le.MaxCycles > 0 {
+				fmt.Fprintf(os.Stderr, "bespoke:   consider raising the cycle budget (had %d)\n", le.MaxCycles)
+			}
+			if errors.Is(err, context.DeadlineExceeded) {
+				fmt.Fprintln(os.Stderr, "bespoke:   the -timeout budget expired; raise it or simplify the program")
+			}
+		case errors.Is(err, context.DeadlineExceeded):
+			fmt.Fprintln(os.Stderr, "bespoke:   the -timeout budget expired; raise it or simplify the program")
+		default:
+			fmt.Fprintf(os.Stderr, "bespoke:   %v\n", fe.Err)
+		}
+	} else {
+		fmt.Fprintln(os.Stderr, "bespoke:", err)
+	}
+	os.Exit(1)
 }
 
 // runCheck decides in-field update support: the update is supported when
 // every gate it can exercise is kept in the bespoke design for the base
 // programs (the paper's Section 3.5 subset test).
-func runCheck(updateFile string, baseFiles []string) error {
+func runCheck(ctx context.Context, updateFile string, baseFiles []string) error {
 	load := func(f string) (*asm.Program, error) {
 		src, err := os.ReadFile(f)
 		if err != nil {
@@ -77,11 +117,11 @@ func runCheck(updateFile string, baseFiles []string) error {
 		return err
 	}
 
-	base, err := core.UnionAnalysis(progs, symexec.Options{})
+	base, err := core.UnionAnalysis(ctx, progs, symexec.Options{})
 	if err != nil {
 		return err
 	}
-	upd, c, err := symexec.Analyze(update, symexec.Options{})
+	upd, c, err := symexec.Analyze(ctx, update, symexec.Options{})
 	if err != nil {
 		return fmt.Errorf("analyzing update: %w", err)
 	}
@@ -111,7 +151,7 @@ func runCheck(updateFile string, baseFiles []string) error {
 	return nil
 }
 
-func run(files []string, coarse bool, verilogOut, defOut string, showPath bool) error {
+func run(ctx context.Context, files []string, coarse bool, verilogOut, defOut string, showPath bool) error {
 	var progs []*asm.Program
 	for _, f := range files {
 		src, err := os.ReadFile(f)
@@ -129,11 +169,11 @@ func run(files []string, coarse bool, verilogOut, defOut string, showPath bool) 
 	var err error
 	switch {
 	case coarse:
-		res, err = core.TailorCoarse(progs[0], nil, core.Options{})
+		res, err = core.TailorCoarse(ctx, progs[0], nil, core.Options{})
 	case len(progs) == 1:
-		res, err = core.Tailor(progs[0], nil, core.Options{})
+		res, err = core.Tailor(ctx, progs[0], nil, core.Options{})
 	default:
-		res, err = core.TailorMulti(progs, nil, core.Options{})
+		res, err = core.TailorMulti(ctx, progs, nil, core.Options{})
 	}
 	if err != nil {
 		return err

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -59,7 +60,7 @@ func run(file string, gate bool, vcdOut string, maxInsts uint64) error {
 		return gateRunWithVCD(p, vcdOut, m.Cycles*2)
 	}
 	c := cpu.Build()
-	tr, err := core.RunWorkload(c, p, &core.Workload{MaxCycles: m.Cycles * 2})
+	tr, err := core.RunWorkload(context.Background(), c, p, &core.Workload{MaxCycles: m.Cycles * 2})
 	if err != nil {
 		return err
 	}

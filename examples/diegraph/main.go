@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -23,11 +24,11 @@ func main() {
 		}
 	}
 
-	ra, core, err := symexec.Analyze(a.MustProg(), symexec.Options{})
+	ra, core, err := symexec.Analyze(context.Background(), a.MustProg(), symexec.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	rb, _, err := symexec.Analyze(b.MustProg(), symexec.Options{})
+	rb, _, err := symexec.Analyze(context.Background(), b.MustProg(), symexec.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,7 +19,7 @@ import (
 
 func main() {
 	b := bench.ByName("rle")
-	app, appCore, err := symexec.Analyze(b.MustProg(), symexec.Options{})
+	app, appCore, err := symexec.Analyze(context.Background(), b.MustProg(), symexec.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -58,11 +59,12 @@ func main() {
 
 	// (3) subneg-enhanced design: arbitrary updates forever.
 	sn := bench.Subneg()
-	appOnly, err := core.Tailor(b.MustProg(), b.Workload(1), core.Options{})
+	appOnly, err := core.Tailor(context.Background(), b.MustProg(), b.Workload(1), core.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
 	combined, err := core.TailorMulti(
+		context.Background(),
 		[]*asm.Program{b.MustProg(), sn.MustProg()},
 		[]*core.Workload{b.Workload(1), sn.Workload(1)},
 		core.Options{})
@@ -75,7 +77,7 @@ func main() {
 		100*combined.AreaSavings)
 
 	// Prove it: run a subneg "update" program on the combined design.
-	tr, err := core.RunWorkload(combined.BespokeCore, sn.MustProg(), sn.Workload(7))
+	tr, err := core.RunWorkload(context.Background(), combined.BespokeCore, sn.MustProg(), sn.Workload(7))
 	if err != nil {
 		log.Fatalf("subneg update on combined design: %v", err)
 	}

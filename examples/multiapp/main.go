@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,11 +29,11 @@ func main() {
 		loads = append(loads, b.Workload(1))
 	}
 
-	single, err := core.Tailor(progs[0], loads[0], core.Options{})
+	single, err := core.Tailor(context.Background(), progs[0], loads[0], core.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	multi, err := core.TailorMulti(progs, loads, core.Options{})
+	multi, err := core.TailorMulti(context.Background(), progs, loads, core.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -46,7 +47,7 @@ func main() {
 
 	// Every application must still run, bit-exact, on the shared design.
 	for i, b := range apps {
-		tr, err := core.RunWorkload(multi.BespokeCore, progs[i], loads[i])
+		tr, err := core.RunWorkload(context.Background(), multi.BespokeCore, progs[i], loads[i])
 		if err != nil {
 			log.Fatalf("%s on the shared design: %v", b.Name, err)
 		}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -48,7 +49,7 @@ func main() {
 		w.P1 = append(w.P1, core.P1Step{At: c, Value: uint16(50 + 7*c%160)})
 	}
 
-	res, err := core.Tailor(prog, w, core.Options{})
+	res, err := core.Tailor(context.Background(), prog, w, core.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func main() {
 		100*res.Bespoke.Timing.SlackFrac, res.Bespoke.Timing.Vmin, 100*res.PowerSavingsVmin)
 
 	// The tailored design still runs the unmodified binary.
-	tr, err := core.RunWorkload(res.BespokeCore, prog, w)
+	tr, err := core.RunWorkload(context.Background(), res.BespokeCore, prog, w)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -13,6 +13,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -154,7 +155,7 @@ func (b *Benchmark) RunGate(seed uint64) (*core.RunTrace, error) {
 		return nil, err
 	}
 	c := cpu.Build()
-	return core.RunWorkload(c, p, b.Workload(seed))
+	return core.RunWorkload(context.Background(), c, p, b.Workload(seed))
 }
 
 // RunGate is a package-level convenience mirroring Benchmark.RunGate.

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"testing"
 
 	"bespoke/internal/symexec"
@@ -217,7 +218,7 @@ func TestSymbolicAnalysisAllBenchmarks(t *testing.T) {
 	for _, b := range append(All(), ScrambledIntFilt(), Subneg()) {
 		b := b
 		t.Run(b.Name, func(t *testing.T) {
-			res, c, err := symexec.Analyze(b.MustProg(), symexec.Options{})
+			res, c, err := symexec.Analyze(context.Background(), b.MustProg(), symexec.Options{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -264,7 +265,7 @@ func TestExtras(t *testing.T) {
 					t.Fatalf("out[%d]: gate %#x isa %#x", i, tr.Out[i], m.Out[i])
 				}
 			}
-			res, c, err := symexec.Analyze(b.MustProg(), symexec.Options{})
+			res, c, err := symexec.Analyze(context.Background(), b.MustProg(), symexec.Options{})
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -15,6 +15,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"bespoke/internal/asm"
@@ -107,12 +109,32 @@ type RunTrace struct {
 	Toggles []uint64
 }
 
+// ctxCheckMask throttles context polling in the concrete-simulation hot
+// loop: the context is checked every 1024 simulated cycles.
+const ctxCheckMask = 1023
+
 // RunWorkload executes prog's workload concretely on core and collects
-// toggle counts. The run ends at the testbench halt convention.
-func RunWorkload(core *cpu.Core, prog *asm.Program, w *Workload) (*RunTrace, error) {
+// toggle counts. The run ends at the testbench halt convention. The
+// context bounds the run: cancellation or an expired deadline aborts it
+// (polled every 1024 cycles), and a panic inside the simulation is
+// recovered into a *FlowError rather than crashing the caller.
+func RunWorkload(ctx context.Context, core *cpu.Core, prog *asm.Program, w *Workload) (*RunTrace, error) {
+	return RunWorkloadHooked(ctx, core, prog, w, nil)
+}
+
+// RunWorkloadHooked is RunWorkload with a per-cycle observer: hook is
+// called once per cycle after the workload's inputs are driven and before
+// the clock edge. The fault injection engine uses it to flip state bits
+// mid-run; a nil hook is a plain run.
+func RunWorkloadHooked(ctx context.Context, core *cpu.Core, prog *asm.Program, w *Workload, hook func(h *cpu.Harness)) (tr *RunTrace, err error) {
+	stage := "workload"
+	defer guard(&stage, &err)
+	if prog == nil {
+		return nil, stageErr(stage, netlist.None, fmt.Errorf("core: nil program"))
+	}
 	h, err := cpu.NewHarnessOn(core, prog.Bytes, prog.Origin)
 	if err != nil {
-		return nil, err
+		return nil, stageErr(stage, netlist.None, err)
 	}
 	max := uint64(2_000_000)
 	if w != nil && w.MaxCycles != 0 {
@@ -126,6 +148,12 @@ func RunWorkload(core *cpu.Core, prog *asm.Program, w *Workload) (*RunTrace, err
 	h.Sim.ResetToggleCounts()
 	p1i, irqi := 0, 0
 	for {
+		if h.Cycles&ctxCheckMask == 0 {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, stageErr(stage, netlist.None,
+					fmt.Errorf("core: workload aborted at cycle %d: %w", h.Cycles, cerr))
+			}
+		}
 		if w != nil {
 			for p1i < len(w.P1) && w.P1[p1i].At <= h.Cycles {
 				h.SetP1In(w.P1[p1i].Value)
@@ -137,7 +165,11 @@ func RunWorkload(core *cpu.Core, prog *asm.Program, w *Workload) (*RunTrace, err
 			}
 		}
 		if h.Cycles >= max {
-			return nil, fmt.Errorf("core: workload did not halt in %d cycles (pc=%#04x)", max, h.PCVal())
+			return nil, stageErr(stage, netlist.None,
+				fmt.Errorf("core: workload did not halt in %d cycles (pc=%#04x)", max, h.PCVal()))
+		}
+		if hook != nil {
+			hook(h)
 		}
 		if h.State() == cpu.StateFETCH && halted(core, h) {
 			break
@@ -178,13 +210,13 @@ func keepAlive(core *cpu.Core) []netlist.GateID {
 }
 
 // measure runs signoff for one design point.
-func measure(core *cpu.Core, prog *asm.Program, w *Workload, lib *cells.Library, clockPs float64) (Metrics, *RunTrace, error) {
+func measure(ctx context.Context, core *cpu.Core, prog *asm.Program, w *Workload, lib *cells.Library, clockPs float64) (Metrics, *RunTrace, error) {
 	place := layout.Place(core.N, lib)
 	timing, err := sta.Analyze(core.N, lib, place, clockPs, blockPaths(core))
 	if err != nil {
 		return Metrics{}, nil, err
 	}
-	trace, err := RunWorkload(core, prog, w)
+	trace, err := RunWorkload(ctx, core, prog, w)
 	if err != nil {
 		return Metrics{}, nil, err
 	}
@@ -196,27 +228,37 @@ func measure(core *cpu.Core, prog *asm.Program, w *Workload, lib *cells.Library,
 // clockHz is the operating frequency of the paper's evaluation (100 MHz).
 const clockHz = 100e6
 
-// Tailor produces a bespoke design for one application.
-func Tailor(prog *asm.Program, w *Workload, opts Options) (*Result, error) {
-	return tailor([]*asm.Program{prog}, []*Workload{w}, opts, false)
+// Tailor produces a bespoke design for one application. The context
+// bounds the whole flow: cancellation or a deadline aborts the analysis
+// and the workload runs at the next hot-loop check, surfacing as a
+// *FlowError wrapping the context error.
+func Tailor(ctx context.Context, prog *asm.Program, w *Workload, opts Options) (*Result, error) {
+	return tailor(ctx, []*asm.Program{prog}, []*Workload{w}, opts, false)
 }
 
 // TailorMulti produces a bespoke design supporting all given applications
 // (the union of their exercisable gates, per the paper's Section 3.5).
-func TailorMulti(progs []*asm.Program, ws []*Workload, opts Options) (*Result, error) {
-	return tailor(progs, ws, opts, false)
+func TailorMulti(ctx context.Context, progs []*asm.Program, ws []*Workload, opts Options) (*Result, error) {
+	return tailor(ctx, progs, ws, opts, false)
 }
 
 // TailorCoarse removes only wholly-unusable modules (the Xtensa-like
 // module-level customization of Figure 12), guided by the same gate
 // activity analysis.
-func TailorCoarse(prog *asm.Program, w *Workload, opts Options) (*Result, error) {
-	return tailor([]*asm.Program{prog}, []*Workload{w}, opts, true)
+func TailorCoarse(ctx context.Context, prog *asm.Program, w *Workload, opts Options) (*Result, error) {
+	return tailor(ctx, []*asm.Program{prog}, []*Workload{w}, opts, true)
 }
 
-func tailor(progs []*asm.Program, ws []*Workload, opts Options, coarse bool) (*Result, error) {
+func tailor(ctx context.Context, progs []*asm.Program, ws []*Workload, opts Options, coarse bool) (res *Result, err error) {
+	stage := "init"
+	defer guard(&stage, &err)
 	if len(progs) == 0 {
-		return nil, fmt.Errorf("core: no programs")
+		return nil, stageErr(stage, netlist.None, fmt.Errorf("core: no programs"))
+	}
+	for i, p := range progs {
+		if p == nil {
+			return nil, stageErr(stage, netlist.None, fmt.Errorf("core: program %d is nil", i))
+		}
 	}
 	lib := opts.Lib
 	if lib == nil {
@@ -229,28 +271,31 @@ func tailor(progs []*asm.Program, ws []*Workload, opts Options, coarse bool) (*R
 	baseline := cpu.Build()
 	baseline.LoadProgram(progs[0].Bytes, progs[0].Origin)
 
-	union, err := UnionAnalysis(progs, opts.Sym)
+	stage = "analysis"
+	union, err := UnionAnalysis(ctx, progs, opts.Sym)
 	if err != nil {
-		return nil, err
+		return nil, stageErr(stage, netlist.None, err)
 	}
 
 	// Baseline signoff. The clock is set so the baseline just meets
 	// timing unless overridden.
+	stage = "baseline-signoff"
 	clockPs := opts.ClockPs
 	if clockPs == 0 {
 		place := layout.Place(baseline.N, lib)
 		t, err := sta.Analyze(baseline.N, lib, place, 0, blockPaths(baseline))
 		if err != nil {
-			return nil, err
+			return nil, stageErr(stage, netlist.None, err)
 		}
 		clockPs = t.CriticalPs * 1.02
 	}
-	baseMet, _, err := measure(baseline, progs[0], wsAt(ws, 0), lib, clockPs)
+	baseMet, _, err := measure(ctx, baseline, progs[0], wsAt(ws, 0), lib, clockPs)
 	if err != nil {
-		return nil, fmt.Errorf("baseline workload: %w", err)
+		return nil, stageErr(stage, netlist.None, fmt.Errorf("baseline workload: %w", err))
 	}
 
 	// Cut and stitch on a clone.
+	stage = "cut"
 	bespoke := baseline.Clone()
 	toggled := union.Toggled
 	if coarse {
@@ -258,26 +303,35 @@ func tailor(progs []*asm.Program, ws []*Workload, opts Options, coarse bool) (*R
 	}
 	cutStats, err := cut.Apply(bespoke.N, toggled, union.ConstVal)
 	if err != nil {
-		return nil, err
+		gate := netlist.None
+		var ge *cut.GateError
+		if errors.As(err, &ge) {
+			gate = ge.Gate
+		}
+		return nil, stageErr(stage, gate, err)
 	}
+	stage = "resynth"
 	synthStats := synth.Optimize(bespoke.N, keepAlive(bespoke))
 
-	besMet, besTrace, err := measure(bespoke, progs[0], wsAt(ws, 0), lib, clockPs)
+	stage = "bespoke-signoff"
+	besMet, besTrace, err := measure(ctx, bespoke, progs[0], wsAt(ws, 0), lib, clockPs)
 	if err != nil {
-		return nil, fmt.Errorf("bespoke workload: %w", err)
+		return nil, stageErr(stage, netlist.None, fmt.Errorf("bespoke workload: %w", err))
 	}
 	// Multi-program designs must run every application.
+	stage = "multi-check"
 	for i := 1; i < len(progs); i++ {
-		if _, err := RunWorkload(bespoke, progs[i], wsAt(ws, i)); err != nil {
-			return nil, fmt.Errorf("bespoke workload %d: %w", i, err)
+		if _, err := RunWorkload(ctx, bespoke, progs[i], wsAt(ws, i)); err != nil {
+			return nil, stageErr(stage, netlist.None, fmt.Errorf("bespoke workload %d: %w", i, err))
 		}
 	}
 
 	// Exploit exposed slack: rerun power at Vmin.
+	stage = "vmin"
 	place := layout.Place(bespoke.N, lib)
 	pwVmin := power.Analyze(bespoke.N, lib, place, besTrace.Toggles, besTrace.Cycles, clockHz, besMet.Timing.Vmin)
 
-	res := &Result{
+	res = &Result{
 		Baseline:      baseMet,
 		Bespoke:       besMet,
 		BespokeAtVmin: pwVmin,
@@ -303,10 +357,12 @@ func wsAt(ws []*Workload, i int) *Workload {
 
 // UnionAnalysis runs the activity analysis for every program and returns
 // the union of toggleable gates (a gate survives if any program needs it).
-func UnionAnalysis(progs []*asm.Program, opts symexec.Options) (*symexec.Result, error) {
-	var union *symexec.Result
+// Panics from malformed programs are recovered into a *FlowError.
+func UnionAnalysis(ctx context.Context, progs []*asm.Program, opts symexec.Options) (union *symexec.Result, err error) {
+	stage := "analysis"
+	defer guard(&stage, &err)
 	for _, p := range progs {
-		res, _, err := symexec.Analyze(p, opts)
+		res, _, err := symexec.Analyze(ctx, p, opts)
 		if err != nil {
 			return nil, err
 		}

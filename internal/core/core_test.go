@@ -1,7 +1,10 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"testing"
+	"time"
 
 	"bespoke/internal/asm"
 )
@@ -41,7 +44,7 @@ func addWorkload() *Workload {
 
 func TestTailorEndToEnd(t *testing.T) {
 	p := asm.MustAssemble(simpleAdd)
-	res, err := Tailor(p, addWorkload(), Options{})
+	res, err := Tailor(context.Background(), p, addWorkload(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,15 +82,15 @@ func TestTailorEndToEnd(t *testing.T) {
 // design must produce the same outputs as the baseline on the workload.
 func TestBespokeStillExecutes(t *testing.T) {
 	p := asm.MustAssemble(simpleAdd)
-	res, err := Tailor(p, addWorkload(), Options{})
+	res, err := Tailor(context.Background(), p, addWorkload(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	baseTrace, err := RunWorkload(res.BaselineCore, p, addWorkload())
+	baseTrace, err := RunWorkload(context.Background(), res.BaselineCore, p, addWorkload())
 	if err != nil {
 		t.Fatal(err)
 	}
-	besTrace, err := RunWorkload(res.BespokeCore, p, addWorkload())
+	besTrace, err := RunWorkload(context.Background(), res.BespokeCore, p, addWorkload())
 	if err != nil {
 		t.Fatalf("bespoke design failed to run: %v", err)
 	}
@@ -104,11 +107,11 @@ func TestBespokeStillExecutes(t *testing.T) {
 
 func TestTailorCoarseRemovesLess(t *testing.T) {
 	p := asm.MustAssemble(simpleAdd)
-	fine, err := Tailor(p, addWorkload(), Options{})
+	fine, err := Tailor(context.Background(), p, addWorkload(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	coarse, err := TailorCoarse(p, addWorkload(), Options{})
+	coarse, err := TailorCoarse(context.Background(), p, addWorkload(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +122,7 @@ func TestTailorCoarseRemovesLess(t *testing.T) {
 		t.Error("coarse design saved nothing (whole modules should drop)")
 	}
 	// Coarse designs still run.
-	if _, err := RunWorkload(coarse.BespokeCore, p, addWorkload()); err != nil {
+	if _, err := RunWorkload(context.Background(), coarse.BespokeCore, p, addWorkload()); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -131,11 +134,11 @@ func TestTailorMultiUnion(t *testing.T) {
         mov #16, &OP2
         mov &RESLO, &OUTPORT
 ` + epilogue)
-	single, err := Tailor(pAdd, addWorkload(), Options{})
+	single, err := Tailor(context.Background(), pAdd, addWorkload(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	multi, err := TailorMulti([]*asm.Program{pAdd, pMul}, []*Workload{addWorkload(), nil}, Options{})
+	multi, err := TailorMulti(context.Background(), []*asm.Program{pAdd, pMul}, []*Workload{addWorkload(), nil}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,11 +149,38 @@ func TestTailorMultiUnion(t *testing.T) {
 		t.Error("multi-program design saved nothing")
 	}
 	// Both programs must run on the union design.
-	tr, err := RunWorkload(multi.BespokeCore, pMul, nil)
+	tr, err := RunWorkload(context.Background(), multi.BespokeCore, pMul, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(tr.Out) != 1 || tr.Out[0] != 400 {
 		t.Fatalf("multiplier program on union design: out = %v", tr.Out)
+	}
+}
+
+// TestTailorCancelledPromptly: a pre-cancelled context must abort the
+// flow at the first hot-loop check, as a *FlowError unwrapping to
+// context.Canceled, without doing the expensive analysis.
+func TestTailorCancelledPromptly(t *testing.T) {
+	p := asm.MustAssemble(simpleAdd)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	t0 := time.Now()
+	_, err := Tailor(ctx, p, addWorkload(), Options{})
+	if err == nil {
+		t.Fatal("Tailor succeeded under a cancelled context")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error does not unwrap to context.Canceled: %v", err)
+	}
+	var fe *FlowError
+	if !errors.As(err, &fe) {
+		t.Fatalf("expected *FlowError, got %T: %v", err, err)
+	}
+	if fe.Stage != "analysis" {
+		t.Errorf("failed stage = %q, want analysis", fe.Stage)
+	}
+	if d := time.Since(t0); d > 30*time.Second {
+		t.Errorf("cancellation took %v; the pre-cancelled flow must return promptly", d)
 	}
 }

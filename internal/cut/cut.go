@@ -17,6 +17,19 @@ import (
 	"bespoke/internal/netlist"
 )
 
+// GateError is a cutting failure localized to one gate: the analysis
+// declared it untoggleable but recorded no concrete constant for it. The
+// flow boundary surfaces the gate in its structured error.
+type GateError struct {
+	Gate netlist.GateID
+	Kind netlist.Kind
+	Name string
+}
+
+func (e *GateError) Error() string {
+	return fmt.Sprintf("cut: untoggled gate %d (%s %q) has unknown constant", e.Gate, e.Kind, e.Name)
+}
+
 // Stats summarizes one cutting pass.
 type Stats struct {
 	// Cut is the number of real cells removed (tied to constants).
@@ -51,7 +64,7 @@ func Apply(n *netlist.Netlist, toggled []bool, constVal []logic.V) (Stats, error
 		case logic.One:
 			k = netlist.Const1
 		default:
-			return st, fmt.Errorf("cut: untoggled gate %d (%s %q) has unknown constant", i, g.Kind, g.Name)
+			return st, &GateError{Gate: netlist.GateID(i), Kind: g.Kind, Name: g.Name}
 		}
 		// Stitch: the gate becomes the constant itself, so every fanout
 		// pin reads the recorded constant value.

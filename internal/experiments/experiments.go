@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -74,7 +75,7 @@ func Profile(b *bench.Benchmark, seeds int) (*ProfileResult, error) {
 	res := &ProfileResult{Bench: b.Name, Min: 1}
 	var everToggled []bool
 	for s := 1; s <= seeds; s++ {
-		tr, err := core.RunWorkload(c, p, b.Workload(uint64(s)))
+		tr, err := core.RunWorkload(context.Background(), c, p, b.Workload(uint64(s)))
 		if err != nil {
 			return nil, fmt.Errorf("%s seed %d: %w", b.Name, s, err)
 		}
@@ -146,11 +147,11 @@ type DieRow struct {
 // DieCompare computes the Figure 3/4 die comparison between two
 // applications using the input-independent analysis.
 func DieCompare(a, b *bench.Benchmark) ([]DieRow, error) {
-	ra, ca, err := symexec.Analyze(a.MustProg(), symexec.Options{})
+	ra, ca, err := symexec.Analyze(context.Background(), a.MustProg(), symexec.Options{})
 	if err != nil {
 		return nil, err
 	}
-	rb, _, err := symexec.Analyze(b.MustProg(), symexec.Options{})
+	rb, _, err := symexec.Analyze(context.Background(), b.MustProg(), symexec.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -216,7 +217,7 @@ func Fig10(w io.Writer, quick bool) ([]UsableRow, error) {
 	var rows []UsableRow
 	fmt.Fprintln(w, "\nFigure 10: Fraction of gates toggleable for any input (by module)")
 	for _, b := range Suite(quick) {
-		res, c, err := symexec.Analyze(b.MustProg(), symexec.Options{})
+		res, c, err := symexec.Analyze(context.Background(), b.MustProg(), symexec.Options{})
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", b.Name, err)
 		}

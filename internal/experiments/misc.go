@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -27,7 +28,7 @@ func Table3(w io.Writer, quick bool) ([]*verify.Report, error) {
 		"Benchmark", "X-based (s)", "Input-based (s)", "Inputs", "Paths", "Line %", "Br %", "Br dir %", "Gate %", "Equiv")
 	var reps []*verify.Report
 	for _, b := range Suite(quick) {
-		rep, err := verify.Run(b, maxInputs)
+		rep, err := verify.Run(context.Background(), b, maxInputs)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", b.Name, err)
 		}
@@ -50,7 +51,7 @@ func Fig13(w io.Writer, quick bool) ([]multiprog.Range, error) {
 	var analyses []*symexec.Result
 	var gates int
 	for _, b := range suite {
-		res, c, err := symexec.Analyze(b.MustProg(), symexec.Options{})
+		res, c, err := symexec.Analyze(context.Background(), b.MustProg(), symexec.Options{})
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", b.Name, err)
 		}
@@ -115,7 +116,7 @@ func RunMutants(w io.Writer, quick bool) ([]MutantStudy, error) {
 		return report.Pct(float64(sup) / float64(tot))
 	}
 	for _, b := range MutantBenches(quick) {
-		app, appCore, err := symexec.Analyze(b.MustProg(), symexec.Options{})
+		app, appCore, err := symexec.Analyze(context.Background(), b.MustProg(), symexec.Options{})
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", b.Name, err)
 		}
@@ -204,7 +205,7 @@ func RunRTOS(w io.Writer) ([]RTOSStudy, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, ccore, err := symexec.Analyze(p, symexec.Options{})
+		res, ccore, err := symexec.Analyze(context.Background(), p, symexec.Options{})
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", c.name, err)
 		}

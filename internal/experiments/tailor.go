@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -27,7 +28,7 @@ type SavingsRow struct {
 func TailorAll(quick bool) ([]SavingsRow, error) {
 	var rows []SavingsRow
 	for _, b := range Suite(quick) {
-		res, err := core.Tailor(b.MustProg(), b.Workload(1), core.Options{})
+		res, err := core.Tailor(context.Background(), b.MustProg(), b.Workload(1), core.Options{})
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", b.Name, err)
 		}
@@ -84,11 +85,11 @@ type CoarseRow struct {
 func Fig12(w io.Writer, quick bool) ([]CoarseRow, error) {
 	var rows []CoarseRow
 	for _, b := range Suite(quick) {
-		fine, err := core.Tailor(b.MustProg(), b.Workload(1), core.Options{})
+		fine, err := core.Tailor(context.Background(), b.MustProg(), b.Workload(1), core.Options{})
 		if err != nil {
 			return nil, fmt.Errorf("%s fine: %w", b.Name, err)
 		}
-		coarse, err := core.TailorCoarse(b.MustProg(), b.Workload(1), core.Options{})
+		coarse, err := core.TailorCoarse(context.Background(), b.MustProg(), b.Workload(1), core.Options{})
 		if err != nil {
 			return nil, fmt.Errorf("%s coarse: %w", b.Name, err)
 		}
@@ -133,11 +134,12 @@ func SubnegStudy(w io.Writer, quick bool) ([]SubnegResult, error) {
 	}
 	var rows []SubnegResult
 	for _, b := range benches {
-		app, err := core.Tailor(b.MustProg(), b.Workload(1), core.Options{})
+		app, err := core.Tailor(context.Background(), b.MustProg(), b.Workload(1), core.Options{})
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", b.Name, err)
 		}
 		combined, err := core.TailorMulti(
+			context.Background(),
 			[]*asm.Program{b.MustProg(), sn.MustProg()},
 			[]*core.Workload{b.Workload(1), sn.Workload(1)},
 			core.Options{})

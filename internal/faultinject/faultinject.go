@@ -1,0 +1,508 @@
+// Package faultinject is a gate-level fault-injection engine for the
+// bespoke-processor flow. It serves two purposes from the paper's
+// evaluation narrative:
+//
+//  1. Cut validation (Section 5.1 strengthened): every gate the activity
+//     analysis proved untoggleable is forced stuck at its claimed
+//     constant; a correct analysis makes every such run bit-identical to
+//     the fault-free golden run. Forcing the opposite constant on the
+//     same sites shows the campaign has teeth: constants feeding
+//     exercised logic visibly diverge.
+//  2. Vulnerability characterization: randomized single-event-upset
+//     (SEU) campaigns flip state bits mid-run on the baseline and the
+//     bespoke design. The bespoke core has fewer fault sites (fewer
+//     cells, fewer flip-flops), so the same particle-strike model has
+//     fewer places to land - a robustness side benefit of tailoring.
+//
+// Campaigns compare every faulty run against a golden reference (the ISA
+// model's output stream, cross-checked against a clean gate-level run)
+// and fan out across a worker pool, each worker owning a private clone of
+// the design. The caller's context bounds the whole campaign.
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"bespoke/internal/asm"
+	"bespoke/internal/bench"
+	"bespoke/internal/core"
+	"bespoke/internal/cpu"
+	"bespoke/internal/isasim"
+	"bespoke/internal/logic"
+	"bespoke/internal/netlist"
+	"bespoke/internal/symexec"
+)
+
+// Fault is one injection: a permanent stuck-at on a gate output, or a
+// transient bit flip (SEU) in a flip-flop at a given cycle.
+type Fault struct {
+	// Gate is the fault site.
+	Gate netlist.GateID
+	// StuckAt is the forced output value of a permanent fault.
+	StuckAt logic.V
+	// Transient marks an SEU: the flip-flop's state is inverted once,
+	// at cycle Cycle, instead of being tied down for the whole run.
+	Transient bool
+	// Cycle is the SEU strike time.
+	Cycle uint64
+}
+
+func (f Fault) String() string {
+	if f.Transient {
+		return fmt.Sprintf("seu(dff %d @ cycle %d)", f.Gate, f.Cycle)
+	}
+	return fmt.Sprintf("stuck-at-%s(gate %d)", f.StuckAt, f.Gate)
+}
+
+// Outcome classifies one faulty run against the golden reference.
+type Outcome int
+
+const (
+	// Masked: the run was bit-identical to the golden run (same output
+	// stream, same cycle count). The fault had no architectural effect.
+	Masked Outcome = iota
+	// SDC (silent data corruption): the run halted but produced a
+	// different output stream or cycle count.
+	SDC
+	// Hang: the run never reached the halt convention within the cycle
+	// bound, or the simulation failed outright.
+	Hang
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Masked:
+		return "masked"
+	case SDC:
+		return "sdc"
+	case Hang:
+		return "hang"
+	}
+	return fmt.Sprintf("Outcome(%d)", int(o))
+}
+
+// Result is the outcome of one injection.
+type Result struct {
+	Fault   Fault
+	Outcome Outcome
+	// Detail describes the divergence (first differing output word,
+	// cycle counts, the run error) for non-masked outcomes.
+	Detail string
+}
+
+// Report summarizes one campaign.
+type Report struct {
+	// Sites is the number of candidate fault sites in the design (before
+	// any MaxFaults sampling).
+	Sites int
+	// Injected is the number of faults actually run.
+	Injected int
+	// Masked, SDCs and Hangs partition the injected faults by outcome.
+	Masked int
+	SDCs   int
+	Hangs  int
+	// Diverged holds every non-masked result, ordered by gate then cycle.
+	Diverged []Result
+}
+
+// Divergent is the number of injections whose behavior differed from the
+// golden run - the campaign's mismatch count.
+func (r *Report) Divergent() int { return r.SDCs + r.Hangs }
+
+// Options tunes a campaign.
+type Options struct {
+	// Workers is the fan-out width (default GOMAXPROCS). Each worker
+	// owns a private clone of the design.
+	Workers int
+	// MaxFaults caps the number of injections; when the candidate list
+	// is larger, a deterministic sample (driven by Seed) is taken.
+	// 0 injects every candidate.
+	MaxFaults int
+	// Seed drives sampling and the SEU strike schedule.
+	Seed uint64
+	// MaxCycles bounds each faulty run. 0 derives a bound from the
+	// golden run (2x golden cycles + slack), so hung runs terminate.
+	MaxCycles uint64
+}
+
+// Golden is the fault-free reference behavior of one workload.
+type Golden struct {
+	// Out is the observable output stream (cross-checked between the
+	// ISA model and a clean gate-level run).
+	Out []uint16
+	// Cycles is the clean gate-level run's cycle count.
+	Cycles uint64
+}
+
+// GoldenRun establishes the reference: the workload runs on the golden
+// ISA model and on a clean clone of the gate-level design, and the two
+// output streams must already agree (otherwise the design is broken
+// independent of any fault, and the campaign refuses to start).
+func GoldenRun(ctx context.Context, c *cpu.Core, prog *asm.Program, w *core.Workload) (*Golden, error) {
+	m := isasim.New(prog.Bytes, prog.Origin)
+	if err := bench.RunISAWorkload(m, w); err != nil {
+		return nil, fmt.Errorf("faultinject: golden ISA run: %w", err)
+	}
+	tr, err := core.RunWorkload(ctx, c.Clone(), prog, w)
+	if err != nil {
+		return nil, fmt.Errorf("faultinject: golden gate-level run: %w", err)
+	}
+	if d := diffOuts(m.Out, tr.Out); d != "" {
+		return nil, fmt.Errorf("faultinject: golden models disagree before any fault: %s", d)
+	}
+	return &Golden{Out: tr.Out, Cycles: tr.Cycles}, nil
+}
+
+// Sites counts a design's fault sites: real combinational/sequential
+// cells (stuck-at targets) and flip-flops (SEU targets). Constants and
+// primary inputs occupy no silicon and cannot fault.
+func Sites(n *netlist.Netlist) (cells, dffs int) {
+	for i := range n.Gates {
+		k := n.Gates[i].Kind
+		if k.NumInputs() == 0 && !k.IsSeq() {
+			continue
+		}
+		cells++
+		if k == netlist.Dff {
+			dffs++
+		}
+	}
+	return cells, dffs
+}
+
+// CutFaults lists the stuck-at faults for an analysis's cut set: one
+// fault per gate the analysis declared untoggleable with a concrete
+// constant (the gates cut.Apply would remove). claimed selects the
+// analysis's constant; !claimed forces the opposite value.
+func CutFaults(n *netlist.Netlist, res *symexec.Result, claimed bool) []Fault {
+	var faults []Fault
+	for i := range n.Gates {
+		switch n.Gates[i].Kind {
+		case netlist.Input, netlist.Const0, netlist.Const1:
+			continue
+		}
+		if res.Toggled[i] || !res.ConstVal[i].Known() {
+			continue
+		}
+		v := res.ConstVal[i]
+		if !claimed {
+			if v == logic.Zero {
+				v = logic.One
+			} else {
+				v = logic.Zero
+			}
+		}
+		faults = append(faults, Fault{Gate: netlist.GateID(i), StuckAt: v})
+	}
+	return faults
+}
+
+// StuckAtClaimed injects every cut gate stuck at its analysis-claimed
+// constant. On a correct analysis the report's Divergent() is zero: tying
+// a never-toggling gate to the value it already holds cannot change the
+// machine.
+func StuckAtClaimed(ctx context.Context, c *cpu.Core, prog *asm.Program, w *core.Workload, res *symexec.Result, opts Options) (*Report, error) {
+	return stuckAtCampaign(ctx, c, prog, w, res, true, opts)
+}
+
+// StuckAtOpposite injects every cut gate stuck at the opposite of its
+// claimed constant. Divergence here is expected wherever the constant
+// feeds exercised logic; it demonstrates the campaign can detect a wrong
+// constant at all.
+func StuckAtOpposite(ctx context.Context, c *cpu.Core, prog *asm.Program, w *core.Workload, res *symexec.Result, opts Options) (*Report, error) {
+	return stuckAtCampaign(ctx, c, prog, w, res, false, opts)
+}
+
+func stuckAtCampaign(ctx context.Context, c *cpu.Core, prog *asm.Program, w *core.Workload, res *symexec.Result, claimed bool, opts Options) (*Report, error) {
+	if len(res.Toggled) != len(c.N.Gates) {
+		return nil, fmt.Errorf("faultinject: analysis covers %d gates, design has %d", len(res.Toggled), len(c.N.Gates))
+	}
+	g, err := GoldenRun(ctx, c, prog, w)
+	if err != nil {
+		return nil, err
+	}
+	faults := CutFaults(c.N, res, claimed)
+	sites := len(faults)
+	faults = sample(faults, opts.MaxFaults, opts.Seed)
+	rep, err := runCampaign(ctx, c, prog, w, g, faults, opts)
+	if err != nil {
+		return nil, err
+	}
+	rep.Sites = sites
+	return rep, nil
+}
+
+// SEUCampaign injects n transient bit flips at random (flip-flop, cycle)
+// pairs drawn deterministically from opts.Seed, with strike cycles spread
+// over the golden run's duration.
+func SEUCampaign(ctx context.Context, c *cpu.Core, prog *asm.Program, w *core.Workload, n int, opts Options) (*Report, error) {
+	g, err := GoldenRun(ctx, c, prog, w)
+	if err != nil {
+		return nil, err
+	}
+	var dffs []netlist.GateID
+	for i := range c.N.Gates {
+		if c.N.Gates[i].Kind == netlist.Dff {
+			dffs = append(dffs, netlist.GateID(i))
+		}
+	}
+	if len(dffs) == 0 {
+		return nil, fmt.Errorf("faultinject: design has no flip-flops to strike")
+	}
+	span := g.Cycles
+	if span == 0 {
+		span = 1
+	}
+	r := rng(opts.Seed)
+	faults := make([]Fault, n)
+	for i := range faults {
+		faults[i] = Fault{
+			Gate:      dffs[r.next()%uint64(len(dffs))],
+			Transient: true,
+			Cycle:     r.next() % span,
+		}
+	}
+	rep, err := runCampaign(ctx, c, prog, w, g, faults, opts)
+	if err != nil {
+		return nil, err
+	}
+	rep.Sites = len(dffs)
+	return rep, nil
+}
+
+// Campaign runs an explicit fault list against the design: it
+// establishes the golden reference, fans the faults out, and reports the
+// outcomes. The targeted campaigns above are built on it; callers with
+// hand-picked fault sites (regression tests, triage) use it directly.
+func Campaign(ctx context.Context, c *cpu.Core, prog *asm.Program, w *core.Workload, faults []Fault, opts Options) (*Report, error) {
+	g, err := GoldenRun(ctx, c, prog, w)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := runCampaign(ctx, c, prog, w, g, faults, opts)
+	if err != nil {
+		return nil, err
+	}
+	rep.Sites = len(faults)
+	return rep, nil
+}
+
+// runCampaign fans the fault list out across a worker pool. Each worker
+// owns a private clone of the design (gate IDs are preserved by Clone),
+// injects one fault at a time, and restores the netlist between runs.
+func runCampaign(ctx context.Context, c *cpu.Core, prog *asm.Program, w *core.Workload, g *Golden, faults []Fault, opts Options) (*Report, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(faults) {
+		workers = len(faults)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	jobs := make(chan Fault)
+	type outcome struct {
+		res Result
+		err error
+	}
+	results := make(chan outcome)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		clone := c.Clone()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for f := range jobs {
+				res, err := injectOne(ctx, clone, prog, w, g, f, opts)
+				results <- outcome{res, err}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+	go func() {
+		defer close(jobs)
+		for _, f := range faults {
+			select {
+			case jobs <- f:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	rep := &Report{}
+	var firstErr error
+	for o := range results {
+		if o.err != nil {
+			if firstErr == nil {
+				firstErr = o.err
+			}
+			continue
+		}
+		rep.Injected++
+		switch o.res.Outcome {
+		case Masked:
+			rep.Masked++
+		case SDC:
+			rep.SDCs++
+			rep.Diverged = append(rep.Diverged, o.res)
+		case Hang:
+			rep.Hangs++
+			rep.Diverged = append(rep.Diverged, o.res)
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, fmt.Errorf("faultinject: campaign aborted after %d of %d faults: %w",
+			rep.Injected, len(faults), cerr)
+	}
+	sort.Slice(rep.Diverged, func(i, j int) bool {
+		a, b := rep.Diverged[i].Fault, rep.Diverged[j].Fault
+		if a.Gate != b.Gate {
+			return a.Gate < b.Gate
+		}
+		return a.Cycle < b.Cycle
+	})
+	return rep, nil
+}
+
+// injectOne runs one faulty execution on the worker's private clone and
+// classifies it. Fault-induced failures (hangs, X-poisoned state) become
+// divergent outcomes; context errors abort the campaign.
+func injectOne(ctx context.Context, c *cpu.Core, prog *asm.Program, w *core.Workload, g *Golden, f Fault, opts Options) (Result, error) {
+	var hook func(h *cpu.Harness)
+	if f.Transient {
+		hook = func(h *cpu.Harness) {
+			if h.Cycles != f.Cycle {
+				return
+			}
+			flip := logic.One
+			if h.Sim.Val[f.Gate] == logic.One {
+				flip = logic.Zero
+			}
+			h.Sim.ForceDff(f.Gate, flip)
+		}
+	} else {
+		restore, err := stuckAt(c.N, f.Gate, f.StuckAt)
+		if err != nil {
+			return Result{}, err
+		}
+		defer restore()
+	}
+	max := opts.MaxCycles
+	if max == 0 {
+		max = 2*g.Cycles + 1024
+	}
+	bw := core.Workload{MaxCycles: max}
+	if w != nil {
+		bw.RAM, bw.P1, bw.IRQ = w.RAM, w.P1, w.IRQ
+	}
+	tr, err := core.RunWorkloadHooked(ctx, c, prog, &bw, hook)
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return Result{}, fmt.Errorf("faultinject: campaign aborted: %w", cerr)
+		}
+		var fe *core.FlowError
+		detail := err.Error()
+		if errors.As(err, &fe) {
+			detail = fe.Err.Error()
+		}
+		return Result{Fault: f, Outcome: Hang, Detail: truncate(detail)}, nil
+	}
+	if d := diffOuts(g.Out, tr.Out); d != "" {
+		return Result{Fault: f, Outcome: SDC, Detail: d}, nil
+	}
+	if tr.Cycles != g.Cycles {
+		return Result{Fault: f, Outcome: SDC,
+			Detail: fmt.Sprintf("halted at cycle %d, golden %d", tr.Cycles, g.Cycles)}, nil
+	}
+	return Result{Fault: f, Outcome: Masked}, nil
+}
+
+// stuckAt ties gate g's output to v in place (the same transformation
+// cut.Apply performs) and returns a closure restoring the original gate.
+func stuckAt(n *netlist.Netlist, g netlist.GateID, v logic.V) (restore func(), err error) {
+	if int(g) < 0 || int(g) >= len(n.Gates) {
+		return nil, fmt.Errorf("faultinject: gate %d out of range", g)
+	}
+	saved := n.Gates[g]
+	switch saved.Kind {
+	case netlist.Input, netlist.Const0, netlist.Const1:
+		return nil, fmt.Errorf("faultinject: gate %d (%s) is not a fault site", g, saved.Kind)
+	}
+	k := netlist.Const0
+	if v == logic.One {
+		k = netlist.Const1
+	}
+	n.Gates[g].Kind = k
+	n.Gates[g].In = [3]netlist.GateID{netlist.None, netlist.None, netlist.None}
+	n.InvalidateDerived()
+	return func() {
+		n.Gates[g] = saved
+		n.InvalidateDerived()
+	}, nil
+}
+
+// diffOuts describes the first difference between two output streams, or
+// returns "" when they are identical.
+func diffOuts(want, got []uint16) string {
+	for i := range want {
+		if i >= len(got) {
+			return fmt.Sprintf("output stream truncated at word %d (golden has %d words)", i, len(want))
+		}
+		if want[i] != got[i] {
+			return fmt.Sprintf("out[%d] = %#04x, golden %#04x", i, got[i], want[i])
+		}
+	}
+	if len(got) > len(want) {
+		return fmt.Sprintf("output stream has %d extra words (golden has %d)", len(got)-len(want), len(want))
+	}
+	return ""
+}
+
+// sample deterministically picks max faults via a seeded Fisher-Yates
+// prefix, then re-sorts by gate for stable reporting. max<=0 keeps all.
+func sample(faults []Fault, max int, seed uint64) []Fault {
+	if max <= 0 || len(faults) <= max {
+		return faults
+	}
+	r := rng(seed)
+	picked := append([]Fault(nil), faults...)
+	for i := 0; i < max; i++ {
+		j := i + int(r.next()%uint64(len(picked)-i))
+		picked[i], picked[j] = picked[j], picked[i]
+	}
+	picked = picked[:max]
+	sort.Slice(picked, func(i, j int) bool { return picked[i].Gate < picked[j].Gate })
+	return picked
+}
+
+// truncate bounds a divergence detail string for reporting.
+func truncate(s string) string {
+	if len(s) > 160 {
+		return s[:157] + "..."
+	}
+	return s
+}
+
+// rng is a splitmix64 generator for deterministic campaigns.
+type rng uint64
+
+func (r *rng) next() uint64 {
+	*r += 0x9E3779B97F4A7C15
+	z := uint64(*r)
+	z = (z ^ z>>30) * 0xBF58476D1CE4E5B9
+	z = (z ^ z>>27) * 0x94D049BB133111EB
+	return z ^ z>>31
+}

@@ -1,0 +1,209 @@
+package faultinject
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"bespoke/internal/asm"
+	"bespoke/internal/bench"
+	"bespoke/internal/core"
+	"bespoke/internal/cpu"
+	"bespoke/internal/cut"
+	"bespoke/internal/logic"
+	"bespoke/internal/symexec"
+	"bespoke/internal/verify"
+)
+
+// The campaigns share one analysis of the mult benchmark: it is small
+// enough for -short runs but exercises RAM inputs and the full datapath.
+var multOnce struct {
+	sync.Once
+	res  *symexec.Result
+	prog *asm.Program
+	w    *core.Workload
+	err  error
+}
+
+func multSetup(t *testing.T) (*symexec.Result, *asm.Program, *core.Workload) {
+	t.Helper()
+	multOnce.Do(func() {
+		b := bench.ByName("mult")
+		multOnce.prog, multOnce.err = b.Prog()
+		if multOnce.err != nil {
+			return
+		}
+		multOnce.w = b.Workload(1)
+		multOnce.res, _, multOnce.err = symexec.Analyze(context.Background(), multOnce.prog, symexec.Options{})
+	})
+	if multOnce.err != nil {
+		t.Fatalf("mult setup: %v", multOnce.err)
+	}
+	return multOnce.res, multOnce.prog, multOnce.w
+}
+
+// TestStuckAtClaimed is the engine's core soundness check: forcing any
+// cut gate to its analysis-claimed constant must be invisible - the
+// analysis proved the gate already holds that value on every cycle.
+func TestStuckAtClaimed(t *testing.T) {
+	res, prog, w := multSetup(t)
+	n := 48
+	if testing.Short() {
+		n = 12
+	}
+	rep, err := StuckAtClaimed(context.Background(), cpu.Build(), prog, w, res, Options{MaxFaults: n, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Injected == 0 || rep.Sites == 0 {
+		t.Fatalf("campaign ran nothing: %+v", rep)
+	}
+	if rep.Divergent() != 0 {
+		t.Fatalf("claimed-constant injection diverged %d times (first: %+v)", rep.Divergent(), rep.Diverged[0])
+	}
+}
+
+// TestStuckAtOpposite shows the campaign has teeth: the opposite
+// constant on exercised logic is architecturally visible.
+func TestStuckAtOpposite(t *testing.T) {
+	rep := oppositeReport(t)
+	if rep.Divergent() == 0 {
+		t.Fatalf("no divergence among %d opposite-constant injections; the campaign cannot detect wrong constants", rep.Injected)
+	}
+	if rep.Divergent() != len(rep.Diverged) {
+		t.Fatalf("divergence bookkeeping: %d vs %d", rep.Divergent(), len(rep.Diverged))
+	}
+}
+
+var oppOnce struct {
+	sync.Once
+	rep *Report
+	err error
+}
+
+func oppositeReport(t *testing.T) *Report {
+	t.Helper()
+	res, prog, w := multSetup(t)
+	oppOnce.Do(func() {
+		oppOnce.rep, oppOnce.err = StuckAtOpposite(context.Background(), cpu.Build(), prog, w, res,
+			Options{MaxFaults: 48, Seed: 7})
+	})
+	if oppOnce.err != nil {
+		t.Fatal(oppOnce.err)
+	}
+	return oppOnce.rep
+}
+
+// TestCorruptConstantFlagged hand-corrupts one cut constant and asserts
+// both verification prongs notice: the claimed-constant campaign (which
+// now injects the wrong value at that site) and verify.XVerify on a
+// design cut with the corrupted analysis.
+func TestCorruptConstantFlagged(t *testing.T) {
+	res, prog, w := multSetup(t)
+	opp := oppositeReport(t)
+	if len(opp.Diverged) == 0 {
+		t.Skip("no divergent opposite site found to corrupt")
+	}
+	g := opp.Diverged[0].Fault.Gate
+
+	bad := &symexec.Result{
+		Toggled:  append([]bool(nil), res.Toggled...),
+		ConstVal: append([]logic.V(nil), res.ConstVal...),
+	}
+	if bad.ConstVal[g] == logic.Zero {
+		bad.ConstVal[g] = logic.One
+	} else {
+		bad.ConstVal[g] = logic.Zero
+	}
+
+	// Prong 1: the stuck-at campaign over the corrupted analysis flags
+	// the site (CutFaults now emits the wrong constant for gate g).
+	var faults []Fault
+	for _, f := range CutFaults(cpu.Build().N, bad, true) {
+		if f.Gate == g {
+			faults = append(faults, f)
+		}
+	}
+	if len(faults) != 1 {
+		t.Fatalf("expected one fault for gate %d, got %d", g, len(faults))
+	}
+	rep, err := Campaign(context.Background(), cpu.Build(), prog, w, faults, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Divergent() != 1 {
+		t.Fatalf("stuck-at campaign did not flag corrupted constant at gate %d: %+v", g, rep)
+	}
+
+	// Prong 2: XVerify on a design cut with the corrupted analysis.
+	bespoke := cpu.Build()
+	bespoke.LoadProgram(prog.Bytes, prog.Origin)
+	if _, err := cut.Apply(bespoke.N, bad.Toggled, bad.ConstVal); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := verify.XVerify(context.Background(), bespoke, res); err == nil {
+		t.Fatalf("XVerify accepted a design with a corrupted constant at gate %d", g)
+	} else if !strings.Contains(err.Error(), "tied to") {
+		t.Fatalf("XVerify failed for an unexpected reason: %v", err)
+	}
+}
+
+// TestSEUCampaign runs a short transient campaign and checks the
+// bookkeeping; SEUs may be masked or fatal, but the report must account
+// for every injection.
+func TestSEUCampaign(t *testing.T) {
+	_, prog, w := multSetup(t)
+	n := 24
+	if testing.Short() {
+		n = 8
+	}
+	rep, err := SEUCampaign(context.Background(), cpu.Build(), prog, w, n, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Injected != n {
+		t.Fatalf("injected %d of %d SEUs", rep.Injected, n)
+	}
+	if rep.Masked+rep.SDCs+rep.Hangs != rep.Injected {
+		t.Fatalf("outcomes do not partition injections: %+v", rep)
+	}
+	if rep.Sites == 0 {
+		t.Fatal("no flip-flop fault sites reported")
+	}
+}
+
+// TestCampaignCancellation: a cancelled context aborts a campaign with
+// the context error rather than hanging or finishing.
+func TestCampaignCancellation(t *testing.T) {
+	res, prog, w := multSetup(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := StuckAtClaimed(ctx, cpu.Build(), prog, w, res, Options{MaxFaults: 8})
+	if err == nil {
+		t.Fatal("campaign succeeded under a cancelled context")
+	}
+	if !strings.Contains(err.Error(), "context canceled") {
+		t.Fatalf("expected a context error, got: %v", err)
+	}
+}
+
+// TestSitesShrink: tailoring must reduce the design's fault sites (the
+// robustness side benefit the SEU campaign quantifies).
+func TestSitesShrink(t *testing.T) {
+	res, prog, _ := multSetup(t)
+	baseline := cpu.Build()
+	bc, bd := Sites(baseline.N)
+	bespoke := baseline.Clone()
+	bespoke.LoadProgram(prog.Bytes, prog.Origin)
+	if _, err := cut.Apply(bespoke.N, res.Toggled, res.ConstVal); err != nil {
+		t.Fatal(err)
+	}
+	sc, sd := Sites(bespoke.N)
+	if sc >= bc {
+		t.Fatalf("bespoke cells %d not below baseline %d", sc, bc)
+	}
+	if sd > bd {
+		t.Fatalf("bespoke dffs %d above baseline %d", sd, bd)
+	}
+}

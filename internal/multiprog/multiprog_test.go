@@ -1,6 +1,7 @@
 package multiprog
 
 import (
+	"context"
 	"testing"
 
 	"bespoke/internal/bench"
@@ -15,7 +16,7 @@ func analyzeSome(t *testing.T, names []string) ([]*symexec.Result, int) {
 	gates := 0
 	for _, n := range names {
 		b := bench.ByName(n)
-		res, c, err := symexec.Analyze(b.MustProg(), symexec.Options{})
+		res, c, err := symexec.Analyze(context.Background(), b.MustProg(), symexec.Options{})
 		if err != nil {
 			t.Fatalf("%s: %v", n, err)
 		}
@@ -64,7 +65,7 @@ func TestCutForSubsetRuns(t *testing.T) {
 	// Both programs must execute on the union design.
 	for _, name := range []string{"intAVG", "mult"} {
 		b := bench.ByName(name)
-		tr, err := core.RunWorkload(c, b.MustProg(), b.Workload(1))
+		tr, err := core.RunWorkload(context.Background(), c, b.MustProg(), b.Workload(1))
 		if err != nil {
 			t.Fatalf("%s on union design: %v", name, err)
 		}

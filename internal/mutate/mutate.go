@@ -11,6 +11,7 @@
 package mutate
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -188,7 +189,7 @@ func CheckSupport(b *bench.Benchmark, app *symexec.Result, muts []*Mutant, opts 
 			res.AnalysisFailures++
 			continue
 		}
-		mres, _, err := symexec.Analyze(p, opts)
+		mres, _, err := symexec.Analyze(context.Background(), p, opts)
 		if err != nil {
 			res.AnalysisFailures++
 			continue

@@ -1,6 +1,7 @@
 package mutate
 
 import (
+	"context"
 	"testing"
 
 	"bespoke/internal/bench"
@@ -60,7 +61,7 @@ func TestBranchMutantsLargelySupported(t *testing.T) {
 	// no new gates and should be supported - the effect behind the
 	// paper's high Type I/III support rates in Table 5.
 	b := bench.BinSearch()
-	app, _, err := symexec.Analyze(b.MustProg(), symexec.Options{})
+	app, _, err := symexec.Analyze(context.Background(), b.MustProg(), symexec.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestCheckSupportIntAVG(t *testing.T) {
 	// which the add-only application never exercises, so low support is
 	// expected; the checker must classify them without error.
 	b := bench.IntAVG()
-	app, _, err := symexec.Analyze(b.MustProg(), symexec.Options{})
+	app, _, err := symexec.Analyze(context.Background(), b.MustProg(), symexec.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

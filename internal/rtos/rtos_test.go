@@ -1,6 +1,7 @@
 package rtos
 
 import (
+	"context"
 	"testing"
 
 	"bespoke/internal/isasim"
@@ -104,7 +105,7 @@ func TestKernelSymbolicAnalysis(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, c, err := symexec.Analyze(p, symexec.Options{})
+	res, c, err := symexec.Analyze(context.Background(), p, symexec.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -14,6 +14,7 @@
 package symexec
 
 import (
+	"context"
 	"fmt"
 
 	"bespoke/internal/asm"
@@ -44,6 +45,46 @@ type Options struct {
 	// the path).
 	MergeThreshold int
 }
+
+// LimitError is the analysis watchdog's verdict: the exploration was
+// aborted by a resource limit (cycle budget, context deadline, or
+// cancellation) before it could prove anything. It carries the partial
+// progress made so callers can diagnose whether the budget was merely too
+// small or the program genuinely diverges.
+type LimitError struct {
+	// Reason is the limit that fired: "cycle budget exhausted",
+	// "deadline exceeded" or "cancelled".
+	Reason string
+	// MaxCycles is the configured budget (0 when a context limit fired).
+	MaxCycles uint64
+	// Cycles, Paths, Sites and Merges are the progress at abort time:
+	// simulated cycles, execution-tree branches finished or started,
+	// distinct branch sites encountered, and conservative state merges.
+	Cycles uint64
+	Paths  int
+	Sites  int
+	Merges int
+	// Pending is the number of unexplored worlds left on the stack.
+	Pending int
+	// Err is the underlying cause (a context error), if any.
+	Err error
+}
+
+func (e *LimitError) Error() string {
+	s := fmt.Sprintf("symexec: %s after %d cycles (%d paths, %d branch sites, %d merges, %d worlds pending)",
+		e.Reason, e.Cycles, e.Paths, e.Sites, e.Merges, e.Pending)
+	if e.MaxCycles > 0 {
+		s += fmt.Sprintf("; budget %d cycles", e.MaxCycles)
+	}
+	if e.Err != nil {
+		s += ": " + e.Err.Error()
+	}
+	return s
+}
+
+// Unwrap exposes the context error so errors.Is(err, context.Canceled)
+// and errors.Is(err, context.DeadlineExceeded) work through the watchdog.
+func (e *LimitError) Unwrap() error { return e.Err }
 
 // Result is the outcome of gate activity analysis.
 type Result struct {
@@ -125,6 +166,7 @@ type site struct {
 
 // analyzer runs the exploration.
 type analyzer struct {
+	ctx  context.Context
 	core *cpu.Core
 	s    *sim.Sim
 	opts Options
@@ -138,17 +180,19 @@ type analyzer struct {
 }
 
 // Analyze runs input-independent gate activity analysis of prog on a
-// freshly built core and returns the per-gate activity verdicts.
-func Analyze(prog *asm.Program, opts Options) (*Result, *cpu.Core, error) {
+// freshly built core and returns the per-gate activity verdicts. The
+// context bounds the exploration: cancellation or a deadline aborts the
+// analysis with a *LimitError carrying partial-progress diagnostics.
+func Analyze(ctx context.Context, prog *asm.Program, opts Options) (*Result, *cpu.Core, error) {
 	core := cpu.Build()
 	core.LoadProgram(prog.Bytes, prog.Origin)
-	res, err := AnalyzeOn(core, opts)
+	res, err := AnalyzeOn(ctx, core, opts)
 	return res, core, err
 }
 
 // AnalyzeOn runs the analysis on an existing core whose ROM is already
 // loaded. The core's netlist is not modified.
-func AnalyzeOn(core *cpu.Core, opts Options) (*Result, error) {
+func AnalyzeOn(ctx context.Context, core *cpu.Core, opts Options) (*Result, error) {
 	if opts.MaxCycles == 0 {
 		opts.MaxCycles = 20_000_000
 	}
@@ -160,6 +204,7 @@ func AnalyzeOn(core *cpu.Core, opts Options) (*Result, error) {
 		return nil, err
 	}
 	a := &analyzer{
+		ctx:   ctx,
 		core:  core,
 		s:     s,
 		opts:  opts,
@@ -194,6 +239,9 @@ func AnalyzeOn(core *cpu.Core, opts Options) (*Result, error) {
 
 	a.stack = append(a.stack, world{snap: a.capture()})
 	for len(a.stack) > 0 {
+		if err := a.checkLimits(); err != nil {
+			return nil, err
+		}
 		w := a.stack[len(a.stack)-1]
 		a.stack = a.stack[:len(a.stack)-1]
 		a.paths++
@@ -251,7 +299,15 @@ func (a *analyzer) runWorld(w world) error {
 	skipSite := w.resume // decision just resolved: take the edge
 	for {
 		if a.cycles >= a.opts.MaxCycles {
-			return fmt.Errorf("symexec: exceeded cycle budget (%d); program may not terminate", a.opts.MaxCycles)
+			return a.limitErr("cycle budget exhausted; program may not terminate", a.opts.MaxCycles, nil)
+		}
+		// The context is polled every ctxCheckMask+1 cycles so the hot
+		// loop stays branch-cheap while cancellation and deadlines still
+		// land within microseconds of wall-clock time.
+		if a.cycles&ctxCheckMask == 0 {
+			if err := a.checkLimits(); err != nil {
+				return err
+			}
 		}
 		a.cycles++
 		if !skipSite {
@@ -548,6 +604,37 @@ func (a *analyzer) visitSite(key uint32, forking bool) (killed bool, err error) 
 	}
 	st.seen = append(st.seen, cur)
 	return false, nil
+}
+
+// ctxCheckMask throttles context polling in the simulation hot loop:
+// the context is checked every 1024 simulated cycles.
+const ctxCheckMask = 1023
+
+// checkLimits polls the analysis context and converts cancellation or an
+// expired deadline into a *LimitError with partial-progress diagnostics.
+func (a *analyzer) checkLimits() error {
+	if err := a.ctx.Err(); err != nil {
+		reason := "cancelled"
+		if err == context.DeadlineExceeded {
+			reason = "deadline exceeded"
+		}
+		return a.limitErr(reason, 0, err)
+	}
+	return nil
+}
+
+// limitErr snapshots the exploration progress into a watchdog error.
+func (a *analyzer) limitErr(reason string, budget uint64, cause error) error {
+	return &LimitError{
+		Reason:    reason,
+		MaxCycles: budget,
+		Cycles:    a.cycles,
+		Paths:     a.paths,
+		Sites:     len(a.sites),
+		Merges:    a.merges,
+		Pending:   len(a.stack),
+		Err:       cause,
+	}
 }
 
 // popcount counts set bits in a 16-bit mask.

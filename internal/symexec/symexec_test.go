@@ -1,6 +1,9 @@
 package symexec
 
 import (
+	"context"
+	"errors"
+	"strings"
 	"testing"
 
 	"bespoke/internal/asm"
@@ -28,7 +31,7 @@ func analyze(t *testing.T, src string) (*Result, *asm.Program) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, _, err := Analyze(p, Options{})
+	res, _, err := Analyze(context.Background(), p, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +160,7 @@ func mustAnalyze(t *testing.T, src string) (*Result, *cpu.Core) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, core, err := Analyze(p, Options{})
+	res, core, err := Analyze(context.Background(), p, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +171,7 @@ func TestUntoggledGatesHaveConstants(t *testing.T) {
 	p := asm.MustAssemble(prologue + `
         mov #1, &OUTPORT
 ` + epilogue)
-	res, core, err := Analyze(p, Options{})
+	res, core, err := Analyze(context.Background(), p, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +234,7 @@ loop:   inc r4
         jz loop
         mov r4, &OUTPORT
 ` + epilogue)
-	res, _, err := Analyze(p, Options{MaxCycles: 6_000_000})
+	res, _, err := Analyze(context.Background(), p, Options{MaxCycles: 6_000_000})
 	if err != nil {
 		t.Fatalf("merge did not bound the exploration: %v", err)
 	}
@@ -242,7 +245,7 @@ func TestDbgModuleQuietWithoutDebugger(t *testing.T) {
 	p := asm.MustAssemble(prologue + `
         mov #9, &OUTPORT
 ` + epilogue)
-	res, core, err := Analyze(p, Options{})
+	res, core, err := Analyze(context.Background(), p, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,5 +258,59 @@ func TestDbgModuleQuietWithoutDebugger(t *testing.T) {
 	}
 	if frac := float64(toggledDbg) / float64(len(byMod["dbg"])); frac > 0.1 {
 		t.Errorf("dbg module %.0f%% active in a program that never touches it", frac*100)
+	}
+}
+
+// TestCycleBudgetExhaustion drives the watchdog: a loop whose concrete
+// state never repeats (a counting register) cannot be covered or merged
+// away, so a tiny budget must exhaust with partial-progress diagnostics.
+func TestCycleBudgetExhaustion(t *testing.T) {
+	p := asm.MustAssemble(prologue + `
+count:  inc r4
+        jmp count
+` + epilogue)
+	_, _, err := Analyze(context.Background(), p, Options{MaxCycles: 200})
+	if err == nil {
+		t.Fatal("analysis of a non-terminating counter succeeded under a 200-cycle budget")
+	}
+	var le *LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("expected *LimitError, got %T: %v", err, err)
+	}
+	if !strings.Contains(le.Reason, "cycle budget") {
+		t.Errorf("reason %q does not name the cycle budget", le.Reason)
+	}
+	if le.MaxCycles != 200 {
+		t.Errorf("MaxCycles = %d, want 200", le.MaxCycles)
+	}
+	if le.Cycles < 200 {
+		t.Errorf("progress snapshot has %d cycles, want >= budget", le.Cycles)
+	}
+	if le.Paths < 1 {
+		t.Errorf("progress snapshot has %d paths, want >= 1", le.Paths)
+	}
+}
+
+// TestAnalyzeCancelled: a pre-cancelled context aborts the analysis with
+// a watchdog error that unwraps to context.Canceled.
+func TestAnalyzeCancelled(t *testing.T) {
+	p := asm.MustAssemble(prologue + `
+        mov r4, &OUTPORT
+` + epilogue)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := Analyze(ctx, p, Options{})
+	if err == nil {
+		t.Fatal("analysis succeeded under a cancelled context")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error does not unwrap to context.Canceled: %v", err)
+	}
+	var le *LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("expected *LimitError, got %T: %v", err, err)
+	}
+	if le.Reason != "cancelled" {
+		t.Errorf("reason = %q, want cancelled", le.Reason)
 	}
 }

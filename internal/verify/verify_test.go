@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"context"
 	"testing"
 
 	"bespoke/internal/bench"
@@ -41,7 +42,7 @@ func TestGenInputsStraightLine(t *testing.T) {
 }
 
 func TestFullVerificationDiv(t *testing.T) {
-	rep, err := Run(bench.Div(), 8)
+	rep, err := Run(context.Background(), bench.Div(), 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,11 +57,11 @@ func TestFullVerificationDiv(t *testing.T) {
 
 func TestXVerifyCatchesNothingOnHonestCut(t *testing.T) {
 	b := bench.IntAVG()
-	res, err := core.Tailor(b.MustProg(), b.Workload(1), core.Options{})
+	res, err := core.Tailor(context.Background(), b.MustProg(), b.Workload(1), core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := XVerify(res.BespokeCore, res.Analysis); err != nil {
+	if _, err := XVerify(context.Background(), res.BespokeCore, res.Analysis); err != nil {
 		t.Fatalf("honest cut failed X verification: %v", err)
 	}
 }
