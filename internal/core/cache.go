@@ -1,0 +1,208 @@
+package core
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+
+	"bespoke/internal/asm"
+	"bespoke/internal/cpu"
+	"bespoke/internal/netlist"
+)
+
+// TailorCache memoizes tailoring flows by content address. The key is
+// the SHA-256 of the base netlist's canonical binary encoding, the
+// program images, the analysis options and the workload stimuli, so a
+// hit is only possible when the whole flow input is byte-identical.
+//
+// A hit skips analysis, cutting, re-synthesis and both signoff runs:
+// the bespoke netlist is decoded from its cached encoding and overlaid
+// onto a freshly elaborated core (elaboration is deterministic and cut
+// and re-synthesis stitch gates in place, so gate IDs line up), which
+// keeps the returned cores fully executable and independent between
+// hits. Metric structs and the analysis result are shared with earlier
+// returns and must be treated as read-only.
+//
+// The zero value is not usable; create with NewTailorCache. All methods
+// are safe for concurrent use.
+type TailorCache struct {
+	mu      sync.Mutex
+	entries map[[sha256.Size]byte]*cacheEntry
+	hits    int
+	misses  int
+	// template is a pristine elaboration cloned on every hit, so the hit
+	// path pays two netlist copies instead of two full elaborations. It
+	// is never run or mutated directly.
+	template *cpu.Core
+	baseBin  []byte // canonical encoding of the template netlist
+}
+
+type cacheEntry struct {
+	bespokeBin []byte // canonical encoding of the tailored netlist
+	result     Result // cores nulled out; rebuilt per hit
+}
+
+// NewTailorCache returns an empty cache.
+func NewTailorCache() *TailorCache {
+	template := cpu.Build()
+	return &TailorCache{
+		entries:  map[[sha256.Size]byte]*cacheEntry{},
+		template: template,
+		baseBin:  netlist.Encode(template.N),
+	}
+}
+
+// Stats reports hit and miss counts so far.
+func (tc *TailorCache) Stats() (hits, misses int) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return tc.hits, tc.misses
+}
+
+// Tailor is Tailor routed through the cache.
+func (tc *TailorCache) Tailor(ctx context.Context, prog *asm.Program, w *Workload, opts Options) (*Result, error) {
+	return tc.tailor(ctx, []*asm.Program{prog}, []*Workload{w}, opts)
+}
+
+// TailorMulti is TailorMulti routed through the cache.
+func (tc *TailorCache) TailorMulti(ctx context.Context, progs []*asm.Program, ws []*Workload, opts Options) (*Result, error) {
+	return tc.tailor(ctx, progs, ws, opts)
+}
+
+func (tc *TailorCache) tailor(ctx context.Context, progs []*asm.Program, ws []*Workload, opts Options) (*Result, error) {
+	key, err := tc.cacheKey(progs, ws, opts)
+	if err != nil {
+		return nil, err
+	}
+	tc.mu.Lock()
+	ent := tc.entries[key]
+	if ent != nil {
+		tc.hits++
+	} else {
+		tc.misses++
+	}
+	tc.mu.Unlock()
+	if ent != nil {
+		return tc.rehydrate(ent, progs[0])
+	}
+
+	res, err := tailor(ctx, progs, ws, opts, false)
+	if err != nil {
+		return nil, err
+	}
+	stored := *res
+	stored.BespokeCore = nil
+	stored.BaselineCore = nil
+	tc.mu.Lock()
+	tc.entries[key] = &cacheEntry{
+		bespokeBin: netlist.Encode(res.BespokeCore.N),
+		result:     stored,
+	}
+	tc.mu.Unlock()
+	return res, nil
+}
+
+// cacheKey hashes everything the flow's outcome depends on. Custom cell
+// libraries are not content-addressable, so they are rejected rather
+// than risking a false hit.
+func (tc *TailorCache) cacheKey(progs []*asm.Program, ws []*Workload, opts Options) ([sha256.Size]byte, error) {
+	var zero [sha256.Size]byte
+	if len(progs) == 0 {
+		return zero, fmt.Errorf("core: no programs")
+	}
+	if opts.Lib != nil {
+		return zero, fmt.Errorf("core: TailorCache does not support custom cell libraries")
+	}
+	h := sha256.New()
+	h.Write(tc.baseBin)
+
+	var num [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(num[:], v)
+		h.Write(num[:])
+	}
+	u64(uint64(len(progs)))
+	for _, p := range progs {
+		if p == nil {
+			return zero, fmt.Errorf("core: nil program")
+		}
+		u64(uint64(p.Origin))
+		u64(uint64(len(p.Bytes)))
+		h.Write(p.Bytes)
+	}
+	u64(opts.Sym.MaxCycles)
+	u64(uint64(opts.Sym.WatchGate))
+	u64(uint64(opts.Sym.MergeThreshold))
+	u64(uint64(int64(opts.ClockPs * 1e3)))
+
+	u64(uint64(len(ws)))
+	for _, w := range ws {
+		if w == nil {
+			u64(0)
+			continue
+		}
+		u64(1)
+		addrs := make([]uint16, 0, len(w.RAM))
+		for a := range w.RAM {
+			addrs = append(addrs, a)
+		}
+		sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+		u64(uint64(len(addrs)))
+		for _, a := range addrs {
+			u64(uint64(a))
+			u64(uint64(w.RAM[a]))
+		}
+		u64(uint64(len(w.P1)))
+		for _, s := range w.P1 {
+			u64(s.At)
+			u64(uint64(s.Value))
+		}
+		u64(uint64(len(w.IRQ)))
+		for _, s := range w.IRQ {
+			u64(s.At)
+			u64(uint64(s.Line))
+			if s.Level {
+				u64(1)
+			} else {
+				u64(0)
+			}
+		}
+		u64(w.MaxCycles)
+	}
+	var key [sha256.Size]byte
+	h.Sum(key[:0])
+	return key, nil
+}
+
+// rehydrate turns a cache entry back into a full Result with live cores.
+func (tc *TailorCache) rehydrate(ent *cacheEntry, prog *asm.Program) (*Result, error) {
+	n, err := netlist.Decode(ent.bespokeBin)
+	if err != nil {
+		return nil, fmt.Errorf("core: corrupt cached netlist: %w", err)
+	}
+	baseline := tc.template.Clone()
+	baseline.LoadProgram(prog.Bytes, prog.Origin)
+
+	bespoke := tc.template.Clone()
+	if len(n.Gates) != len(bespoke.N.Gates) {
+		return nil, fmt.Errorf("core: cached netlist has %d gates, fresh build has %d",
+			len(n.Gates), len(bespoke.N.Gates))
+	}
+	// Cut and re-synthesis mutate gates without renumbering them, so the
+	// tailored gate table drops onto a fresh elaboration and every wire
+	// and macro pin the core recorded stays valid.
+	bespoke.N.Gates = n.Gates
+	bespoke.N.Modules = n.Modules
+	bespoke.N.Inputs = n.Inputs
+	bespoke.N.Outputs = n.Outputs
+	bespoke.N.InvalidateDerived()
+	bespoke.LoadProgram(prog.Bytes, prog.Origin)
+
+	res := ent.result
+	res.BaselineCore = baseline
+	res.BespokeCore = bespoke
+	return &res, nil
+}

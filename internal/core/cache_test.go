@@ -1,0 +1,117 @@
+package core_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"bespoke/internal/asm"
+	"bespoke/internal/core"
+	"bespoke/internal/netlist"
+	"bespoke/internal/verify"
+)
+
+// cachedAdd mirrors the in-package simpleAdd workload: sum eight RAM
+// words and write the total to OUTPORT.
+const cachedAdd = `
+        .org 0xF000
+start:  mov #0x5A80, &WDTCTL
+        mov #STACKTOP, sp
+        mov #0x900, r4
+        clr r5
+        mov #8, r6
+loop:   add @r4+, r5
+        dec r6
+        jne loop
+        mov r5, &OUTPORT
+halt:   dint
+        jmp $
+        .org 0xFFFE
+        .word start
+`
+
+func cachedAddWorkload() *core.Workload {
+	ram := map[uint16]uint16{}
+	for i := 0; i < 8; i++ {
+		ram[0x900+uint16(2*i)] = uint16(i + 1)
+	}
+	return &core.Workload{RAM: ram}
+}
+
+func TestTailorCacheHitFasterAndEquivalent(t *testing.T) {
+	p := asm.MustAssemble(cachedAdd)
+	tc := core.NewTailorCache()
+
+	t0 := time.Now()
+	cold, err := tc.Tailor(context.Background(), p, cachedAddWorkload(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldDur := time.Since(t0)
+
+	// Best-of-3 guards the ratio check against scheduler noise; the hit
+	// path is milliseconds against a multi-second cold flow.
+	hitDur := time.Duration(1 << 62)
+	var hit *core.Result
+	for i := 0; i < 3; i++ {
+		t1 := time.Now()
+		hit, err = tc.Tailor(context.Background(), p, cachedAddWorkload(), core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := time.Since(t1); d < hitDur {
+			hitDur = d
+		}
+	}
+	if h, m := tc.Stats(); h != 3 || m != 1 {
+		t.Fatalf("cache stats = %d hits, %d misses; want 3, 1", h, m)
+	}
+	t.Logf("cold %v, hit %v (%.0fx)", coldDur, hitDur, float64(coldDur)/float64(hitDur))
+	if hitDur*10 > coldDur {
+		t.Errorf("cache hit %v not >=10x faster than cold tailor %v", hitDur, coldDur)
+	}
+
+	// The rehydrated design must be byte-identical to the tailored one.
+	if netlist.Hash(hit.BespokeCore.N) != netlist.Hash(cold.BespokeCore.N) {
+		t.Fatal("rehydrated bespoke netlist differs from cold result")
+	}
+	if hit.Bespoke.Gates != cold.Bespoke.Gates || hit.GateSavings != cold.GateSavings ||
+		hit.PowerSavings != cold.PowerSavings {
+		t.Errorf("cached metrics drifted: hit %+v vs cold %+v", hit.Bespoke, cold.Bespoke)
+	}
+
+	// The cores are live: the cached design still executes the workload...
+	tr, err := core.RunWorkload(context.Background(), hit.BespokeCore, p, cachedAddWorkload())
+	if err != nil {
+		t.Fatalf("rehydrated bespoke core failed to run: %v", err)
+	}
+	if len(tr.Out) != 1 || tr.Out[0] != 36 {
+		t.Fatalf("rehydrated bespoke out = %v, want [36]", tr.Out)
+	}
+	// ...and X-based verification finds no divergence from the baseline.
+	if _, err := verify.XVerify(context.Background(), hit.BespokeCore, hit.Analysis); err != nil {
+		t.Errorf("XVerify on rehydrated core: %v", err)
+	}
+}
+
+func TestTailorCacheKeySensitivity(t *testing.T) {
+	p := asm.MustAssemble(cachedAdd)
+	tc := core.NewTailorCache()
+	if _, err := tc.Tailor(context.Background(), p, cachedAddWorkload(), core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A different workload must not hit the first entry.
+	w2 := cachedAddWorkload()
+	w2.RAM[0x900] = 99
+	if _, err := tc.Tailor(context.Background(), p, w2, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// Different analysis options must also miss.
+	if _, err := tc.Tailor(context.Background(), p, cachedAddWorkload(), core.Options{ClockPs: 20_000}); err != nil {
+		t.Fatal(err)
+	}
+	if h, m := tc.Stats(); h != 0 || m != 3 {
+		t.Fatalf("cache stats = %d hits, %d misses; want 0, 3", h, m)
+	}
+}

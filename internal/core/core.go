@@ -27,6 +27,7 @@ import (
 	"bespoke/internal/logic"
 	"bespoke/internal/msp430"
 	"bespoke/internal/netlist"
+	"bespoke/internal/parallel"
 	"bespoke/internal/power"
 	"bespoke/internal/sta"
 	"bespoke/internal/symexec"
@@ -357,15 +358,26 @@ func wsAt(ws []*Workload, i int) *Workload {
 
 // UnionAnalysis runs the activity analysis for every program and returns
 // the union of toggleable gates (a gate survives if any program needs it).
-// Panics from malformed programs are recovered into a *FlowError.
+// The per-program analyses are independent and fan out across the shared
+// worker pool; the union is merged sequentially in program order, so the
+// result is deterministic. Panics from malformed programs are recovered
+// into a *FlowError.
 func UnionAnalysis(ctx context.Context, progs []*asm.Program, opts symexec.Options) (union *symexec.Result, err error) {
 	stage := "analysis"
 	defer guard(&stage, &err)
-	for _, p := range progs {
-		res, _, err := symexec.Analyze(ctx, p, opts)
+	analyses := make([]*symexec.Result, len(progs))
+	perr := parallel.ForEach(ctx, 0, len(progs), func(i int) error {
+		res, _, err := analyzeGuarded(ctx, progs[i], opts)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		analyses[i] = res
+		return nil
+	})
+	if perr != nil {
+		return nil, perr
+	}
+	for _, res := range analyses {
 		if union == nil {
 			union = res
 			continue
@@ -385,6 +397,15 @@ func UnionAnalysis(ctx context.Context, progs []*asm.Program, opts symexec.Optio
 		union.Merges += res.Merges
 	}
 	return union, nil
+}
+
+// analyzeGuarded wraps one worker's symexec.Analyze call so a panic from
+// a malformed program inside the pool is converted to a *FlowError on
+// that worker instead of crossing goroutine boundaries.
+func analyzeGuarded(ctx context.Context, p *asm.Program, opts symexec.Options) (res *symexec.Result, c *cpu.Core, err error) {
+	stage := "analysis"
+	defer guard(&stage, &err)
+	return symexec.Analyze(ctx, p, opts)
 }
 
 // coarsen widens a gate-level toggled map to module granularity: a module

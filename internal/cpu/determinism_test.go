@@ -2,37 +2,17 @@ package cpu
 
 import (
 	"bytes"
-	"fmt"
 	"testing"
 
 	"bespoke/internal/netlist"
 )
 
-// serializeNetlist renders every observable field of the netlist into a
-// canonical byte form: gate kinds, pin connections, module attribution,
-// reset values, net names, the module table, and the port lists.
-func serializeNetlist(n *netlist.Netlist) []byte {
-	var buf bytes.Buffer
-	for i, g := range n.Gates {
-		fmt.Fprintf(&buf, "g%d %d %d,%d,%d m%d r%d %q\n",
-			i, g.Kind, g.In[0], g.In[1], g.In[2], g.Module, g.Reset, g.Name)
-	}
-	for i, m := range n.Modules {
-		fmt.Fprintf(&buf, "m%d %q\n", i, m)
-	}
-	for _, in := range n.Inputs {
-		fmt.Fprintf(&buf, "i%d\n", in)
-	}
-	for _, p := range n.Outputs {
-		fmt.Fprintf(&buf, "o%q %d\n", p.Name, p.Gate)
-	}
-	return buf.Bytes()
-}
-
 // TestBuildDeterministic guards the reproducibility contract of the
 // builder DSL: constructing the full CPU twice must yield byte-identical
 // netlists, so layout, symbolic analysis and netlist hashes are stable
-// across runs.
+// across runs. The canonical binary codec is the oracle - it encodes
+// every observable field (kinds, pins, modules, resets, names, ports) -
+// and the same bytes must survive a decode/re-encode round trip.
 func TestBuildDeterministic(t *testing.T) {
 	a := Build()
 	b := Build()
@@ -43,23 +23,31 @@ func TestBuildDeterministic(t *testing.T) {
 	if len(a.N.Gates) != len(b.N.Gates) {
 		t.Fatalf("gate counts differ: %d vs %d", len(a.N.Gates), len(b.N.Gates))
 	}
-	for i := range a.N.Gates {
-		if a.N.Gates[i].Name != b.N.Gates[i].Name {
-			t.Fatalf("gate %d name differs: %q vs %q", i, a.N.Gates[i].Name, b.N.Gates[i].Name)
-		}
-	}
-	ba, bb := serializeNetlist(a.N), serializeNetlist(b.N)
+	ba, bb := netlist.Encode(a.N), netlist.Encode(b.N)
 	if !bytes.Equal(ba, bb) {
-		for i := 0; i < len(ba) && i < len(bb); i++ {
-			if ba[i] != bb[i] {
-				lo := i - 40
-				if lo < 0 {
-					lo = 0
-				}
-				t.Fatalf("serialized netlists diverge at byte %d:\n  first  ...%s\n  second ...%s",
-					i, ba[lo:i+40], bb[lo:i+40])
+		if netlist.Hash(a.N) == netlist.Hash(b.N) {
+			t.Fatal("encodings differ but hashes collide (codec bug)")
+		}
+		// Locate the first divergent gate for a useful failure message.
+		for i := range a.N.Gates {
+			if a.N.Gates[i] != b.N.Gates[i] {
+				t.Fatalf("builds diverge at gate %d:\n  first  %+v\n  second %+v",
+					i, a.N.Gates[i], b.N.Gates[i])
 			}
 		}
-		t.Fatalf("serialized netlists differ in length: %d vs %d", len(ba), len(bb))
+		t.Fatalf("encoded netlists differ (%d vs %d bytes) outside the gate table", len(ba), len(bb))
+	}
+
+	// Round trip: the canonical form must decode back to an equal design
+	// and re-encode to the same bytes.
+	dec, err := netlist.Decode(ba)
+	if err != nil {
+		t.Fatalf("Decode of CPU netlist: %v", err)
+	}
+	if err := dec.Validate(); err != nil {
+		t.Fatalf("decoded CPU netlist fails validation: %v", err)
+	}
+	if !bytes.Equal(netlist.Encode(dec), ba) {
+		t.Fatal("CPU netlist round trip is not byte-identical")
 	}
 }

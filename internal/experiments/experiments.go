@@ -9,10 +9,12 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync/atomic"
 
 	"bespoke/internal/bench"
 	"bespoke/internal/core"
 	"bespoke/internal/cpu"
+	"bespoke/internal/parallel"
 	"bespoke/internal/report"
 	"bespoke/internal/symexec"
 )
@@ -73,12 +75,26 @@ func Profile(b *bench.Benchmark, seeds int) (*ProfileResult, error) {
 	cells := c.N.CellCount()
 
 	res := &ProfileResult{Bench: b.Name, Min: 1}
+	// Per-seed runs mutate the core's memories, so every worker owns a
+	// private clone (gate IDs are preserved; the harness reinitializes
+	// all state per run); traces are merged sequentially afterwards.
+	traces := make([]*core.RunTrace, seeds)
+	err := parallel.ForEachState(context.Background(), 0, seeds,
+		func(int) *cpu.Core { return c.Clone() },
+		func(clone *cpu.Core, i int) error {
+			s := i + 1
+			tr, err := core.RunWorkload(context.Background(), clone, p, b.Workload(uint64(s)))
+			if err != nil {
+				return fmt.Errorf("%s seed %d: %w", b.Name, s, err)
+			}
+			traces[i] = tr
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	var everToggled []bool
-	for s := 1; s <= seeds; s++ {
-		tr, err := core.RunWorkload(context.Background(), c, p, b.Workload(uint64(s)))
-		if err != nil {
-			return nil, fmt.Errorf("%s seed %d: %w", b.Name, s, err)
-		}
+	for _, tr := range traces {
 		if everToggled == nil {
 			everToggled = make([]bool, len(tr.Toggles))
 		}
@@ -214,12 +230,14 @@ type UsableRow struct {
 // Fig10 runs the input-independent analysis per benchmark and prints the
 // usable-gate fraction with a per-module breakdown.
 func Fig10(w io.Writer, quick bool) ([]UsableRow, error) {
-	var rows []UsableRow
+	benches := Suite(quick)
+	rows := make([]UsableRow, len(benches))
 	fmt.Fprintln(w, "\nFigure 10: Fraction of gates toggleable for any input (by module)")
-	for _, b := range Suite(quick) {
+	err := parallel.ForEach(context.Background(), 0, len(benches), func(i int) error {
+		b := benches[i]
 		res, c, err := symexec.Analyze(context.Background(), b.MustProg(), symexec.Options{})
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", b.Name, err)
+			return fmt.Errorf("%s: %w", b.Name, err)
 		}
 		row := UsableRow{Bench: b.Name, ByModule: map[string]int{}}
 		used := 0
@@ -232,8 +250,14 @@ func Fig10(w io.Writer, quick bool) ([]UsableRow, error) {
 			}
 		}
 		row.Fraction = float64(used) / float64(c.N.CellCount())
-		rows = append(rows, row)
-		report.Bar(w, b.Name, row.Fraction, 40)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		report.Bar(w, row.Bench, row.Fraction, 40)
 		mods := make([]string, 0, len(row.ByModule))
 		for m := range row.ByModule {
 			mods = append(mods, m)
@@ -246,4 +270,25 @@ func Fig10(w io.Writer, quick bool) ([]UsableRow, error) {
 		fmt.Fprintln(w)
 	}
 	return rows, nil
+}
+
+// analyzeSuite runs the input-independent analysis for every benchmark in
+// parallel, returning results in suite order plus the gate count of the
+// base design.
+func analyzeSuite(ctx context.Context, benches []*bench.Benchmark) ([]*symexec.Result, int, error) {
+	analyses := make([]*symexec.Result, len(benches))
+	var gates int32
+	err := parallel.ForEach(ctx, 0, len(benches), func(i int) error {
+		res, c, err := symexec.Analyze(ctx, benches[i].MustProg(), symexec.Options{})
+		if err != nil {
+			return fmt.Errorf("%s: %w", benches[i].Name, err)
+		}
+		analyses[i] = res
+		atomic.StoreInt32(&gates, int32(len(c.N.Gates)))
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return analyses, int(atomic.LoadInt32(&gates)), nil
 }

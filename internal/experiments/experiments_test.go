@@ -2,8 +2,11 @@ package experiments
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"bespoke/internal/bench"
 )
@@ -36,6 +39,22 @@ func TestFig2ProfilingShape(t *testing.T) {
 	}
 	if r.Max < r.Min {
 		t.Error("range inverted")
+	}
+}
+
+func TestAnalyzeSuiteCancellation(t *testing.T) {
+	// The per-benchmark fan-out must stop promptly when the context is
+	// cancelled, both before dispatch and while analyses are in flight.
+	suite := Suite(true)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := analyzeSuite(ctx, suite); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled suite returned %v, want context.Canceled", err)
+	}
+	ctx, cancel = context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if _, _, err := analyzeSuite(ctx, suite); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired suite returned %v, want context.DeadlineExceeded", err)
 	}
 }
 

@@ -48,18 +48,12 @@ func Table3(w io.Writer, quick bool) ([]*verify.Report, error) {
 // Fig13 is the multi-program study over all subsets of the suite.
 func Fig13(w io.Writer, quick bool) ([]multiprog.Range, error) {
 	suite := Suite(quick)
-	var analyses []*symexec.Result
-	var gates int
-	for _, b := range suite {
-		res, c, err := symexec.Analyze(context.Background(), b.MustProg(), symexec.Options{})
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", b.Name, err)
-		}
-		analyses = append(analyses, res)
-		gates = len(c.N.Gates)
+	analyses, gates, err := analyzeSuite(context.Background(), suite)
+	if err != nil {
+		return nil, err
 	}
 	ranges := multiprog.GateRanges(analyses, gates)
-	ranges, err := multiprog.MeasureExtremes(ranges, analyses)
+	ranges, err = multiprog.MeasureExtremes(ranges, analyses)
 	if err != nil {
 		return nil, err
 	}
@@ -127,7 +121,7 @@ func RunMutants(w io.Writer, quick bool) ([]MutantStudy, error) {
 		if quick && len(muts) > 6 {
 			muts = muts[:6]
 		}
-		sup, err := mutate.CheckSupport(b, app, muts, symexec.Options{})
+		sup, err := mutate.CheckSupport(context.Background(), b, app, muts, symexec.Options{})
 		if err != nil {
 			return nil, err
 		}

@@ -8,6 +8,7 @@ import (
 	"bespoke/internal/asm"
 	"bespoke/internal/bench"
 	"bespoke/internal/core"
+	"bespoke/internal/parallel"
 	"bespoke/internal/report"
 )
 
@@ -24,15 +25,19 @@ type SavingsRow struct {
 	TotalPowerVmin   float64
 }
 
-// TailorAll runs the full bespoke flow for every benchmark.
+// TailorAll runs the full bespoke flow for every benchmark, fanning the
+// per-benchmark flows out across the shared worker pool (each flow builds
+// its own core, so runs are independent; rows land in suite order).
 func TailorAll(quick bool) ([]SavingsRow, error) {
-	var rows []SavingsRow
-	for _, b := range Suite(quick) {
+	benches := Suite(quick)
+	rows := make([]SavingsRow, len(benches))
+	err := parallel.ForEach(context.Background(), 0, len(benches), func(i int) error {
+		b := benches[i]
 		res, err := core.Tailor(context.Background(), b.MustProg(), b.Workload(1), core.Options{})
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", b.Name, err)
+			return fmt.Errorf("%s: %w", b.Name, err)
 		}
-		rows = append(rows, SavingsRow{
+		rows[i] = SavingsRow{
 			Bench:            b.Name,
 			GateSavings:      res.GateSavings,
 			AreaSavings:      res.AreaSavings,
@@ -41,7 +46,11 @@ func TailorAll(quick bool) ([]SavingsRow, error) {
 			Vmin:             res.Bespoke.Timing.Vmin,
 			AddlPowerSavings: res.PowerSavingsVmin - res.PowerSavings,
 			TotalPowerVmin:   res.PowerSavingsVmin,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -83,22 +92,28 @@ type CoarseRow struct {
 // Fig12 compares fine-grained bespoke designs against the coarse-grained
 // module-removal baseline.
 func Fig12(w io.Writer, quick bool) ([]CoarseRow, error) {
-	var rows []CoarseRow
-	for _, b := range Suite(quick) {
+	benches := Suite(quick)
+	rows := make([]CoarseRow, len(benches))
+	err := parallel.ForEach(context.Background(), 0, len(benches), func(i int) error {
+		b := benches[i]
 		fine, err := core.Tailor(context.Background(), b.MustProg(), b.Workload(1), core.Options{})
 		if err != nil {
-			return nil, fmt.Errorf("%s fine: %w", b.Name, err)
+			return fmt.Errorf("%s fine: %w", b.Name, err)
 		}
 		coarse, err := core.TailorCoarse(context.Background(), b.MustProg(), b.Workload(1), core.Options{})
 		if err != nil {
-			return nil, fmt.Errorf("%s coarse: %w", b.Name, err)
+			return fmt.Errorf("%s coarse: %w", b.Name, err)
 		}
-		rows = append(rows, CoarseRow{
+		rows[i] = CoarseRow{
 			Bench:         b.Name,
 			GateVsCoarse:  1 - float64(fine.Bespoke.Gates)/float64(coarse.Bespoke.Gates),
 			AreaVsCoarse:  1 - fine.Bespoke.Power.AreaUm2/coarse.Bespoke.Power.AreaUm2,
 			PowerVsCoarse: 1 - fine.Bespoke.Power.TotalUW/coarse.Bespoke.Power.TotalUW,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t := report.NewTable("Figure 12: Fine-grained bespoke vs module-level (coarse) bespoke",
 		"Benchmark", "Gate savings", "Area savings", "Power savings")

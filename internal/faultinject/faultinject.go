@@ -24,9 +24,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
 
 	"bespoke/internal/asm"
 	"bespoke/internal/bench"
@@ -35,6 +33,7 @@ import (
 	"bespoke/internal/isasim"
 	"bespoke/internal/logic"
 	"bespoke/internal/netlist"
+	"bespoke/internal/parallel"
 	"bespoke/internal/symexec"
 )
 
@@ -292,80 +291,47 @@ func Campaign(ctx context.Context, c *cpu.Core, prog *asm.Program, w *core.Workl
 	return rep, nil
 }
 
-// runCampaign fans the fault list out across a worker pool. Each worker
-// owns a private clone of the design (gate IDs are preserved by Clone),
-// injects one fault at a time, and restores the netlist between runs.
+// runCampaign fans the fault list out across the shared worker pool.
+// Each worker owns a private clone of the design (gate IDs are preserved
+// by Clone), injects one fault at a time, and restores the netlist
+// between runs. Outcomes land in a per-index slice and are aggregated
+// sequentially after the pool drains, so the report is deterministic.
 func runCampaign(ctx context.Context, c *cpu.Core, prog *asm.Program, w *core.Workload, g *Golden, faults []Fault, opts Options) (*Report, error) {
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(faults) {
-		workers = len(faults)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	jobs := make(chan Fault)
-	type outcome struct {
-		res Result
-		err error
-	}
-	results := make(chan outcome)
-	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
-		clone := c.Clone()
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for f := range jobs {
-				res, err := injectOne(ctx, clone, prog, w, g, f, opts)
-				results <- outcome{res, err}
+	outcomes := make([]*Result, len(faults))
+	perr := parallel.ForEachState(ctx, opts.Workers, len(faults),
+		func(int) *cpu.Core { return c.Clone() },
+		func(clone *cpu.Core, i int) error {
+			res, err := injectOne(ctx, clone, prog, w, g, faults[i], opts)
+			if err != nil {
+				return err
 			}
-		}()
-	}
-	go func() {
-		wg.Wait()
-		close(results)
-	}()
-	go func() {
-		defer close(jobs)
-		for _, f := range faults {
-			select {
-			case jobs <- f:
-			case <-ctx.Done():
-				return
-			}
-		}
-	}()
+			outcomes[i] = &res
+			return nil
+		})
 
 	rep := &Report{}
-	var firstErr error
-	for o := range results {
-		if o.err != nil {
-			if firstErr == nil {
-				firstErr = o.err
-			}
-			continue
+	for _, o := range outcomes {
+		if o == nil {
+			continue // abandoned after an error or cancellation
 		}
 		rep.Injected++
-		switch o.res.Outcome {
+		switch o.Outcome {
 		case Masked:
 			rep.Masked++
 		case SDC:
 			rep.SDCs++
-			rep.Diverged = append(rep.Diverged, o.res)
+			rep.Diverged = append(rep.Diverged, *o)
 		case Hang:
 			rep.Hangs++
-			rep.Diverged = append(rep.Diverged, o.res)
+			rep.Diverged = append(rep.Diverged, *o)
 		}
 	}
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	if cerr := ctx.Err(); cerr != nil {
-		return nil, fmt.Errorf("faultinject: campaign aborted after %d of %d faults: %w",
-			rep.Injected, len(faults), cerr)
+	if perr != nil {
+		if cerr := ctx.Err(); cerr != nil && errors.Is(perr, cerr) {
+			return nil, fmt.Errorf("faultinject: campaign aborted after %d of %d faults: %w",
+				rep.Injected, len(faults), cerr)
+		}
+		return nil, perr
 	}
 	sort.Slice(rep.Diverged, func(i, j int) bool {
 		a, b := rep.Diverged[i].Fault, rep.Diverged[j].Fault

@@ -18,6 +18,7 @@ import (
 	"bespoke/internal/asm"
 	"bespoke/internal/bench"
 	"bespoke/internal/logic"
+	"bespoke/internal/parallel"
 	"bespoke/internal/symexec"
 )
 
@@ -167,7 +168,12 @@ type SupportResult struct {
 // supported when every gate it can toggle is kept in the design. Mutants
 // whose analysis does not terminate within the cycle budget (e.g. a
 // mutation created an unbounded loop) count as unsupported.
-func CheckSupport(b *bench.Benchmark, app *symexec.Result, muts []*Mutant, opts symexec.Options) (*SupportResult, error) {
+//
+// The per-mutant analyses are independent and fan out across the shared
+// worker pool; the union and the support tallies are merged sequentially
+// in mutant order afterwards, so the result is deterministic. The context
+// cancels the whole campaign.
+func CheckSupport(ctx context.Context, b *bench.Benchmark, app *symexec.Result, muts []*Mutant, opts symexec.Options) (*SupportResult, error) {
 	if opts.MaxCycles == 0 {
 		// Mutations can turn bounded loops into 64K-iteration wraps;
 		// mutants that exceed the budget count as unsupported.
@@ -183,14 +189,33 @@ func CheckSupport(b *bench.Benchmark, app *symexec.Result, muts []*Mutant, opts 
 		SupportedByType: map[Type]int{},
 		Union:           union,
 	}
-	for _, m := range muts {
-		p, err := m.Prog()
+	// Phase 1, parallel: one analysis per mutant. A nil entry means the
+	// mutant failed to assemble or its analysis hit a limit; both count
+	// as unsupported. Watchdog limit errors stay per-mutant verdicts, but
+	// a cancelled context aborts the campaign.
+	analyses := make([]*symexec.Result, len(muts))
+	err := parallel.ForEach(ctx, 0, len(muts), func(i int) error {
+		p, err := muts[i].Prog()
 		if err != nil {
-			res.AnalysisFailures++
-			continue
+			return nil
 		}
-		mres, _, err := symexec.Analyze(context.Background(), p, opts)
+		mres, _, err := symexec.Analyze(ctx, p, opts)
 		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+			return nil
+		}
+		analyses[i] = mres
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("mutate: campaign aborted: %w", err)
+	}
+	// Phase 2, sequential: merge in mutant order.
+	for i, m := range muts {
+		mres := analyses[i]
+		if mres == nil {
 			res.AnalysisFailures++
 			continue
 		}

@@ -2,7 +2,9 @@ package mutate
 
 import (
 	"context"
+	"errors"
 	"testing"
+	"time"
 
 	"bespoke/internal/bench"
 	"bespoke/internal/symexec"
@@ -75,13 +77,39 @@ func TestBranchMutantsLargelySupported(t *testing.T) {
 			condOnly = append(condOnly, m)
 		}
 	}
-	res, err := CheckSupport(b, app, condOnly, symexec.Options{})
+	res, err := CheckSupport(context.Background(), b, app, condOnly, symexec.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Logf("binSearch conditional mutants: %d/%d supported", res.Supported, res.Total)
 	if res.Supported == 0 {
 		t.Errorf("no conditional mutants supported; flipped input-dependent branches should mostly reuse explored gates")
+	}
+}
+
+func TestCheckSupportMidCampaignCancellation(t *testing.T) {
+	// Cancelling the context mid-campaign must abort the parallel fan-out
+	// promptly with the context error rather than a per-mutant verdict.
+	b := bench.BinSearch()
+	app, _, err := symexec.Analyze(context.Background(), b.MustProg(), symexec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	muts, err := Generate(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := CheckSupport(ctx, b, app, muts, symexec.Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled campaign returned %v, want context.Canceled", err)
+	}
+
+	// And with a deadline that expires while analyses are in flight.
+	ctx, cancel = context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if _, err := CheckSupport(ctx, b, app, muts, symexec.Options{}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired campaign returned %v, want context.DeadlineExceeded", err)
 	}
 }
 
@@ -98,7 +126,7 @@ func TestCheckSupportIntAVG(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := CheckSupport(b, app, muts, symexec.Options{})
+	res, err := CheckSupport(context.Background(), b, app, muts, symexec.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

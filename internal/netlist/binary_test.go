@@ -1,0 +1,101 @@
+package netlist
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"bespoke/internal/logic"
+)
+
+// sampleNetlist builds a small design exercising every encodable field:
+// multiple modules, all pin arities, reset values, names, and ports.
+func sampleNetlist() *Netlist {
+	n := New()
+	alu := n.AddModule("alu")
+	ctl := n.AddModule("ctl/fsm")
+	a := n.Add(Gate{Kind: Input, Name: "a"})
+	b := n.Add(Gate{Kind: Input, Name: "b"})
+	sel := n.Add(Gate{Kind: Input, Name: "sel"})
+	one := n.Add(Gate{Kind: Const1, Module: alu})
+	x := n.Add(Gate{Kind: Xor, In: [3]GateID{a, b}, Module: alu, Name: "x"})
+	m := n.Add(Gate{Kind: Mux, In: [3]GateID{x, one, sel}, Module: ctl})
+	q := n.Add(Gate{Kind: Dff, In: [3]GateID{m}, Module: ctl, Reset: logic.One, Name: "q"})
+	inv := n.Add(Gate{Kind: Not, In: [3]GateID{q}})
+	n.MarkOutput("y", inv)
+	n.MarkOutput("raw", m)
+	return n
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	n := sampleNetlist()
+	enc := Encode(n)
+	got, err := Decode(enc)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(got.Gates, n.Gates) {
+		t.Errorf("gates differ after round trip:\n got %+v\nwant %+v", got.Gates, n.Gates)
+	}
+	if !reflect.DeepEqual(got.Modules, n.Modules) {
+		t.Errorf("modules differ: got %v want %v", got.Modules, n.Modules)
+	}
+	if !reflect.DeepEqual(got.Inputs, n.Inputs) {
+		t.Errorf("inputs differ: got %v want %v", got.Inputs, n.Inputs)
+	}
+	if !reflect.DeepEqual(got.Outputs, n.Outputs) {
+		t.Errorf("outputs differ: got %v want %v", got.Outputs, n.Outputs)
+	}
+	if err := got.Validate(); err != nil {
+		t.Errorf("decoded netlist fails validation: %v", err)
+	}
+	// Re-encoding the decoded netlist must reproduce the bytes exactly;
+	// this is what makes the encoding usable as a content address.
+	if again := Encode(got); !bytes.Equal(again, enc) {
+		t.Errorf("re-encoding decoded netlist changed bytes: %d vs %d", len(again), len(enc))
+	}
+}
+
+func TestBinaryDeterministicAndHash(t *testing.T) {
+	a, b := sampleNetlist(), sampleNetlist()
+	ea, eb := Encode(a), Encode(b)
+	if !bytes.Equal(ea, eb) {
+		t.Fatal("two identical constructions encode differently")
+	}
+	if Hash(a) != Hash(b) {
+		t.Fatal("hashes of identical netlists differ")
+	}
+	// Any structural change must change the address.
+	b.Gates[len(b.Gates)-1].Name = "renamed"
+	if Hash(a) == Hash(b) {
+		t.Fatal("hash unchanged after netlist edit")
+	}
+}
+
+func TestBinaryDecodeErrors(t *testing.T) {
+	n := sampleNetlist()
+	enc := Encode(n)
+
+	if _, err := Decode([]byte("XXXX")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := Decode(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	for _, cut := range []int{5, len(enc) / 2, len(enc) - 1} {
+		if _, err := Decode(enc[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := Decode(append(append([]byte(nil), enc...), 0)); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+
+	// An out-of-range input pin must be rejected even though the wire
+	// format can express it.
+	bad := sampleNetlist()
+	bad.Gates[4].In[0] = GateID(10_000)
+	if _, err := Decode(Encode(bad)); err == nil {
+		t.Error("out-of-range input pin accepted")
+	}
+}

@@ -138,6 +138,18 @@ func (r *RAM) Snapshot() BlockState {
 	return &ramState{words: append([]logic.Word(nil), r.words...)}
 }
 
+// SnapshotInto implements SnapshotterInto: it reuses the storage of a
+// recycled snapshot when its shape matches, avoiding the dominant
+// allocation of the symbolic engine's state-capture path.
+func (r *RAM) SnapshotInto(recycled BlockState) BlockState {
+	rs, ok := recycled.(*ramState)
+	if !ok || len(rs.words) != len(r.words) {
+		return r.Snapshot()
+	}
+	copy(rs.words, r.words)
+	return rs
+}
+
 // Restore implements Block.
 func (r *RAM) Restore(st BlockState) {
 	rs := st.(*ramState)

@@ -11,6 +11,12 @@
 // behavioral block. Memory arrays and other macros are modeled as Blocks:
 // combinational read paths evaluated in level order like gates, with
 // state committed at the clock edge.
+//
+// The hot structures are flat: fanout and the per-level event queue are
+// CSR-style arrays (one offset table plus one data array each), gate
+// evaluation is a single lookup into a precomputed 3-valued truth table
+// indexed by kind and input values, and toggle counting is opt-in so the
+// symbolic analysis does not pay for power instrumentation.
 package sim
 
 import (
@@ -51,6 +57,42 @@ type BlockState interface {
 	Merge(o BlockState) BlockState
 }
 
+// SnapshotterInto is an optional Block extension: SnapshotInto behaves
+// like Snapshot but may reuse the storage of a previously captured state
+// that the caller guarantees is no longer referenced. The symbolic engine
+// uses it to recycle snapshot buffers and cut GC churn.
+type SnapshotterInto interface {
+	SnapshotInto(recycled BlockState) BlockState
+}
+
+// evalStride is the row width of the kind-indexed truth table. An index
+// packs three 3-valued inputs as a | b<<2 | sel<<4 (each value is 0, 1 or
+// 2, so two bits suffice per input).
+const evalStride = 64
+
+// evalTab holds, for every gate kind, the precomputed 3-valued output for
+// every combination of input values. Rows for non-combinational kinds
+// (Input, Dff) are never indexed: only gates with at least one input pin
+// enter the event queue, and sequential gates are filtered from fanout.
+var evalTab [netlist.NumKinds * evalStride]logic.V
+
+func init() {
+	vals := [...]logic.V{logic.Zero, logic.One, logic.X}
+	for k := 0; k < netlist.NumKinds; k++ {
+		kind := netlist.Kind(k)
+		if kind == netlist.Input || kind.IsSeq() {
+			continue
+		}
+		for _, a := range vals {
+			for _, b := range vals {
+				for _, sel := range vals {
+					evalTab[k*evalStride+int(a)|int(b)<<2|int(sel)<<4] = kind.Eval(a, b, sel)
+				}
+			}
+		}
+	}
+}
+
 // Sim simulates one netlist plus its blocks.
 type Sim struct {
 	N *netlist.Netlist
@@ -59,8 +101,10 @@ type Sim struct {
 	// Active records, per gate, whether the gate has possibly toggled
 	// since the last ResetActivity: its value changed or was X.
 	Active []bool
-	// ToggleCount counts concrete 0<->1 output transitions per gate
-	// since the last ResetToggleCounts; used for dynamic power.
+	// ToggleCount counts concrete 0<->1 output transitions per gate.
+	// Counting is off by default; power-instrumented runs opt in with
+	// ResetToggleCounts (or TrackToggles), so the symbolic analysis does
+	// not pay for bookkeeping it never reads.
 	ToggleCount []uint64
 	// Tag optionally groups gates (e.g. by module); when set, any value
 	// change on a gate marks TagTouched[Tag[gate]]. The observer owns
@@ -71,21 +115,59 @@ type Sim struct {
 	// Cycle is the number of clock edges since Reset.
 	Cycle uint64
 
+	// countToggles gates ToggleCount bookkeeping (see ToggleCount).
+	countToggles bool
+
 	blocks []Block
-	// blockSubs[g] lists blocks subscribed to changes of net g.
-	blockSubs [][]int32
+	// blockSubIdx/blockSubDat are the CSR form of the net -> subscribed
+	// blocks relation: blocks listening on net g are
+	// blockSubDat[blockSubIdx[g]:blockSubIdx[g+1]].
+	blockSubIdx []int32
+	blockSubDat []int32
 
 	levels   []int32
 	maxLevel int32
-	fanout   [][]netlist.GateID
 
-	// pending event queue, bucketed by level.
-	buckets    [][]netlist.GateID
+	// fanIdx/fanDat are the CSR form of combinational fanout: the
+	// non-sequential readers of net g are fanDat[fanIdx[g]:fanIdx[g+1]].
+	// DFF D-pins are filtered out at build time (they are sampled at the
+	// clock edge, never propagated during settle). Each entry carries the
+	// reader's level so the enqueue path avoids a second random load.
+	fanIdx []int32
+	fanDat []fanEntry
+
+	// ops packs each gate's flattened input pins and truth-table row
+	// offset into one 16-byte record so evaluation touches a single
+	// cache line per gate. Unused pins point at gate 0, whose value is a
+	// don't-care for the truth-table row of any kind with fewer inputs.
+	ops []gateOp
+
+	// The pending event queue: one fixed CSR segment per level, sized to
+	// the number of combinational gates at that level (each gate queues
+	// at most once, guarded by inQueue). bucketNext[l] is the write
+	// cursor, starting at bucketOff[l]; the level is empty when they are
+	// equal.
+	bucketOff  []int32
+	bucketNext []int32
+	bucketDat  []netlist.GateID
 	inQueue    []bool
 	blockDirty []bool
 	blockAtLvl [][]int32 // blocks to evaluate at a given level
 
-	dffs      []netlist.GateID
+	// pending counts queued gates, dirtyBlocks counts blocks awaiting
+	// Eval, and minPend lower-bounds the lowest non-empty queue level;
+	// together they let Settle start late and stop as soon as the
+	// network is quiescent (the common case: Settle on an already
+	// settled network returns immediately).
+	pending     int32
+	dirtyBlocks int32
+	minPend     int32
+	minBlockLvl int32
+
+	dffs     []netlist.GateID
+	dffD     []int32   // D input net per flip-flop, in dffs order
+	dffReset []logic.V // reset value per flip-flop, in dffs order
+
 	edgeStage []staged
 
 	resetting bool
@@ -95,24 +177,43 @@ type Sim struct {
 // levelizes the combinational network including block read paths and
 // returns an error on combinational cycles.
 func New(n *netlist.Netlist, blocks ...Block) (*Sim, error) {
+	nG := len(n.Gates)
 	s := &Sim{
 		N:           n,
-		Val:         make([]logic.V, len(n.Gates)),
-		Active:      make([]bool, len(n.Gates)),
-		ToggleCount: make([]uint64, len(n.Gates)),
+		Val:         make([]logic.V, nG),
+		Active:      make([]bool, nG),
+		ToggleCount: make([]uint64, nG),
 		blocks:      blocks,
-		blockSubs:   make([][]int32, len(n.Gates)),
-		inQueue:     make([]bool, len(n.Gates)),
+		inQueue:     make([]bool, nG),
 		blockDirty:  make([]bool, len(blocks)),
-		fanout:      n.Fanout(),
 		dffs:        n.DffIDs(),
 	}
 	for i := range s.Val {
 		s.Val[i] = logic.X
 	}
+	s.dffD = make([]int32, len(s.dffs))
+	s.dffReset = make([]logic.V, len(s.dffs))
+	for i, id := range s.dffs {
+		s.dffD[i] = int32(n.Gates[id].In[0])
+		s.dffReset[i] = n.Gates[id].Reset
+	}
+
+	// CSR block subscriptions.
+	s.blockSubIdx = make([]int32, nG+1)
+	for _, b := range blocks {
+		for _, in := range b.Inputs() {
+			s.blockSubIdx[in+1]++
+		}
+	}
+	for i := 0; i < nG; i++ {
+		s.blockSubIdx[i+1] += s.blockSubIdx[i]
+	}
+	s.blockSubDat = make([]int32, s.blockSubIdx[nG])
+	fill := make([]int32, nG)
 	for bi, b := range blocks {
 		for _, in := range b.Inputs() {
-			s.blockSubs[in] = append(s.blockSubs[in], int32(bi))
+			s.blockSubDat[s.blockSubIdx[in]+fill[in]] = int32(bi)
+			fill[in]++
 		}
 		for _, out := range b.Outputs() {
 			if n.Gates[out].Kind != netlist.Input {
@@ -120,11 +221,84 @@ func New(n *netlist.Netlist, blocks ...Block) (*Sim, error) {
 			}
 		}
 	}
+
+	// CSR combinational fanout (sequential readers filtered out).
+	s.fanIdx = make([]int32, nG+1)
+	for i := range n.Gates {
+		g := &n.Gates[i]
+		if g.Kind.IsSeq() {
+			continue
+		}
+		ni := g.Kind.NumInputs()
+		for p := 0; p < ni; p++ {
+			if in := g.In[p]; in != netlist.None {
+				s.fanIdx[in+1]++
+			}
+		}
+	}
+	for i := 0; i < nG; i++ {
+		s.fanIdx[i+1] += s.fanIdx[i]
+	}
+	s.fanDat = make([]fanEntry, s.fanIdx[nG])
+	for i := range fill {
+		fill[i] = 0
+	}
+	for i := range n.Gates {
+		g := &n.Gates[i]
+		if g.Kind.IsSeq() {
+			continue
+		}
+		ni := g.Kind.NumInputs()
+		for p := 0; p < ni; p++ {
+			if in := g.In[p]; in != netlist.None {
+				s.fanDat[s.fanIdx[in]+fill[in]].id = netlist.GateID(i)
+				fill[in]++
+			}
+		}
+	}
+
+	// Flat evaluation operands: unused pins read gate 0 (don't-care).
+	s.ops = make([]gateOp, nG)
+	for i := range n.Gates {
+		g := &n.Gates[i]
+		s.ops[i].off = int32(g.Kind) * evalStride
+		ni := g.Kind.NumInputs()
+		if ni > 0 && g.In[0] != netlist.None {
+			s.ops[i].in0 = int32(g.In[0])
+		}
+		if ni > 1 && g.In[1] != netlist.None {
+			s.ops[i].in1 = int32(g.In[1])
+		}
+		if ni > 2 && g.In[2] != netlist.None {
+			s.ops[i].in2 = int32(g.In[2])
+		}
+	}
+
 	if err := s.levelize(); err != nil {
 		return nil, err
 	}
-	s.buckets = make([][]netlist.GateID, s.maxLevel+2)
-	s.blockAtLvl = make([][]int32, s.maxLevel+2)
+	for i := range s.fanDat {
+		s.fanDat[i].lvl = s.levels[s.fanDat[i].id]
+	}
+
+	// Per-level queue segments sized by combinational population.
+	nLvl := int(s.maxLevel) + 2
+	s.bucketOff = make([]int32, nLvl+1)
+	for i := range n.Gates {
+		k := n.Gates[i].Kind
+		if !k.IsSeq() && k.NumInputs() > 0 {
+			s.bucketOff[s.levels[i]+1]++
+		}
+	}
+	for l := 0; l < nLvl; l++ {
+		s.bucketOff[l+1] += s.bucketOff[l]
+	}
+	s.bucketNext = append([]int32(nil), s.bucketOff[:nLvl]...)
+	s.bucketDat = make([]netlist.GateID, s.bucketOff[nLvl])
+
+	s.blockAtLvl = make([][]int32, nLvl)
+	s.minPend = int32(nLvl)
+	s.minBlockLvl = int32(nLvl)
 	for bi, b := range blocks {
 		lvl := int32(0)
 		for _, in := range b.Inputs() {
@@ -134,6 +308,9 @@ func New(n *netlist.Netlist, blocks ...Block) (*Sim, error) {
 		}
 		// Evaluate the block after its highest input level settles.
 		s.blockAtLvl[lvl] = append(s.blockAtLvl[lvl], int32(bi))
+		if lvl < s.minBlockLvl {
+			s.minBlockLvl = lvl
+		}
 	}
 	return s, nil
 }
@@ -246,30 +423,32 @@ func (s *Sim) drive(id netlist.GateID, v logic.V) {
 		return
 	}
 	s.Val[id] = v
-	if old != logic.X && v != logic.X {
+	if s.countToggles && old != logic.X && v != logic.X {
 		s.ToggleCount[id]++
 	}
 	s.Active[id] = true
 	if s.Tag != nil {
 		s.TagTouched[s.Tag[id]] = true
 	}
-	s.schedule(id)
-}
-
-// schedule enqueues the fanout of id and notifies subscribed blocks.
-func (s *Sim) schedule(id netlist.GateID) {
-	for _, fo := range s.fanout[id] {
-		g := &s.N.Gates[fo]
-		if g.Kind.IsSeq() {
-			continue // DFF D pins are sampled at the edge, not propagated
-		}
-		if !s.inQueue[fo] {
-			s.inQueue[fo] = true
-			s.buckets[s.levels[fo]] = append(s.buckets[s.levels[fo]], fo)
+	// Schedule combinational fanout (CSR walk) and notify blocks.
+	for j := s.fanIdx[id]; j < s.fanIdx[id+1]; j++ {
+		e := s.fanDat[j]
+		if !s.inQueue[e.id] {
+			s.inQueue[e.id] = true
+			nx := s.bucketNext[e.lvl]
+			s.bucketDat[nx] = e.id
+			s.bucketNext[e.lvl] = nx + 1
+			s.pending++
+			if e.lvl < s.minPend {
+				s.minPend = e.lvl
+			}
 		}
 	}
-	for _, bi := range s.blockSubs[id] {
-		s.blockDirty[bi] = true
+	for j := s.blockSubIdx[id]; j < s.blockSubIdx[id+1]; j++ {
+		if bi := s.blockSubDat[j]; !s.blockDirty[bi] {
+			s.blockDirty[bi] = true
+			s.dirtyBlocks++
+		}
 	}
 }
 
@@ -290,61 +469,75 @@ func (s *Sim) DriveBus(bus []netlist.GateID, w logic.Word) {
 
 // Settle propagates all pending changes until the combinational network
 // is stable. Levels are processed in ascending order; each gate and each
-// block evaluates at most once.
+// block evaluates at most once. Fanout is strictly forward (a gate's
+// readers sit at higher levels), so each level's queue segment is frozen
+// by the time the loop reaches it.
 func (s *Sim) Settle() {
-	for lvl := int32(0); lvl <= s.maxLevel+1; lvl++ {
-		if int(lvl) < len(s.buckets) {
-			bucket := s.buckets[lvl]
-			for i := 0; i < len(bucket); i++ {
-				id := bucket[i]
-				s.inQueue[id] = false
-				g := &s.N.Gates[id]
-				var a, b2, sel logic.V
-				switch g.Kind.NumInputs() {
-				case 3:
-					sel = s.Val[g.In[2]]
-					fallthrough
-				case 2:
-					b2 = s.Val[g.In[1]]
-					fallthrough
-				case 1:
-					a = s.Val[g.In[0]]
-				}
-				s.drive(id, g.Kind.Eval(a, b2, sel))
-			}
-			s.buckets[lvl] = bucket[:0]
+	if s.pending == 0 && s.dirtyBlocks == 0 {
+		return
+	}
+	nLvl := int32(len(s.bucketNext))
+	lvl := s.minPend
+	if s.dirtyBlocks > 0 && s.minBlockLvl < lvl {
+		lvl = s.minBlockLvl
+	}
+	for ; lvl < nLvl; lvl++ {
+		if s.pending == 0 && s.dirtyBlocks == 0 {
+			break
 		}
-		if int(lvl) < len(s.blockAtLvl) {
-			for _, bi := range s.blockAtLvl[lvl] {
-				if s.blockDirty[bi] {
-					s.blockDirty[bi] = false
-					s.blocks[bi].Eval(s)
+		// Fanout is strictly forward, so this level's segment is frozen:
+		// nothing evaluated here can enqueue at this level or below.
+		base := s.bucketOff[lvl]
+		if end := s.bucketNext[lvl]; end > base {
+			s.pending -= end - base
+			for i := base; i < end; i++ {
+				id := s.bucketDat[i]
+				s.inQueue[id] = false
+				op := &s.ops[id]
+				idx := op.off | int32(s.Val[op.in0]) |
+					int32(s.Val[op.in1])<<2 | int32(s.Val[op.in2])<<4
+				// Hoisted no-change test: most re-evaluated gates keep
+				// their value, and skipping the drive call here is the
+				// single biggest win in the settle loop.
+				if v := evalTab[idx]; v != s.Val[id] {
+					s.drive(id, v)
 				}
+			}
+			s.bucketNext[lvl] = base
+		}
+		for _, bi := range s.blockAtLvl[lvl] {
+			if s.blockDirty[bi] {
+				s.blockDirty[bi] = false
+				s.dirtyBlocks--
+				s.blocks[bi].Eval(s)
 			}
 		}
 	}
+	s.minPend = nLvl
 }
 
 // BlockDrive is used by Block implementations to drive their output gates
-// during Eval.
-func (s *Sim) BlockDrive(id netlist.GateID, v logic.V) { s.drive(id, v) }
+// during Eval. The no-change test keeps it inlinable at call sites.
+func (s *Sim) BlockDrive(id netlist.GateID, v logic.V) {
+	if v != s.Val[id] {
+		s.drive(id, v)
+	}
+}
 
 // Edge applies one rising clock edge: every DFF captures its D input
 // (or its reset value while resetting) and blocks commit state. Changed
 // DFF outputs are scheduled for the next Settle.
 func (s *Sim) Edge() {
 	// Sample all D inputs first (DFF semantics: old values everywhere).
-	for _, id := range s.dffs {
-		g := &s.N.Gates[id]
+	for i, id := range s.dffs {
 		var next logic.V
 		if s.resetting {
-			next = g.Reset
+			next = s.dffReset[i]
 		} else {
-			next = s.Val[g.In[0]]
+			next = s.Val[s.dffD[i]]
 		}
 		if next != s.Val[id] {
-			// Defer the actual update so DFF-to-DFF paths are race-free:
-			// stash in inQueue-free staging via buckets trick below.
+			// Defer the actual update so DFF-to-DFF paths are race-free.
 			s.edgeStage = append(s.edgeStage, staged{id, next})
 		}
 	}
@@ -360,7 +553,10 @@ func (s *Sim) Edge() {
 	// Committed block state can change read data: re-evaluate all blocks
 	// on the next settle.
 	for i := range s.blockDirty {
-		s.blockDirty[i] = true
+		if !s.blockDirty[i] {
+			s.blockDirty[i] = true
+			s.dirtyBlocks++
+		}
 	}
 	s.Cycle++
 }
@@ -368,6 +564,19 @@ func (s *Sim) Edge() {
 type staged struct {
 	id netlist.GateID
 	v  logic.V
+}
+
+// fanEntry is one combinational fanout edge: the reading gate plus its
+// precomputed topological level.
+type fanEntry struct {
+	id  netlist.GateID
+	lvl int32
+}
+
+// gateOp is a gate's evaluation record: three operand nets (unused pins
+// read gate 0) and the gate's truth-table row offset.
+type gateOp struct {
+	in0, in1, in2, off int32
 }
 
 // Step runs one full cycle: settle then clock edge.
@@ -386,9 +595,9 @@ func (s *Sim) Reset() {
 	for i := range s.inQueue {
 		s.inQueue[i] = false
 	}
-	for i := range s.buckets {
-		s.buckets[i] = s.buckets[i][:0]
-	}
+	copy(s.bucketNext, s.bucketOff[:len(s.bucketNext)])
+	s.pending = 0
+	s.minPend = 0
 	for _, b := range s.blocks {
 		b.Reset(s)
 	}
@@ -396,9 +605,12 @@ func (s *Sim) Reset() {
 	for i := range s.N.Gates {
 		id := netlist.GateID(i)
 		k := s.N.Gates[i].Kind
-		if !k.IsSeq() && k.NumInputs() > 0 {
+		if !k.IsSeq() && k.NumInputs() > 0 && !s.inQueue[id] {
 			s.inQueue[id] = true
-			s.buckets[s.levels[id]] = append(s.buckets[s.levels[id]], id)
+			l := s.levels[id]
+			s.bucketDat[s.bucketNext[l]] = id
+			s.bucketNext[l]++
+			s.pending++
 		}
 		switch k {
 		case netlist.Const0:
@@ -408,7 +620,10 @@ func (s *Sim) Reset() {
 		}
 	}
 	for i := range s.blockDirty {
-		s.blockDirty[i] = true
+		if !s.blockDirty[i] {
+			s.blockDirty[i] = true
+			s.dirtyBlocks++
+		}
 	}
 	s.resetting = true
 	s.Step()
@@ -427,8 +642,16 @@ func (s *Sim) ResetActivity() {
 	}
 }
 
-// ResetToggleCounts zeroes the concrete toggle counters.
+// TrackToggles switches concrete 0<->1 transition counting on or off.
+// Counting is off by default: only power-instrumented runs read
+// ToggleCount, and the guard keeps the symbolic analysis hot loop free
+// of the bookkeeping.
+func (s *Sim) TrackToggles(on bool) { s.countToggles = on }
+
+// ResetToggleCounts zeroes the concrete toggle counters and enables
+// counting: calling it is the power paths' explicit opt-in.
 func (s *Sim) ResetToggleCounts() {
+	s.countToggles = true
 	for i := range s.ToggleCount {
 		s.ToggleCount[i] = 0
 	}
@@ -454,11 +677,19 @@ func (s *Sim) ReadBus(bus []netlist.GateID) logic.Word {
 
 // DffSnapshot captures the values of all flip-flops in DffIDs order.
 func (s *Sim) DffSnapshot() []logic.V {
-	out := make([]logic.V, len(s.dffs))
-	for i, id := range s.dffs {
-		out[i] = s.Val[id]
+	return s.DffSnapshotInto(nil)
+}
+
+// DffSnapshotInto captures flip-flop values into dst when it has the
+// right length, avoiding an allocation; otherwise a fresh slice is made.
+func (s *Sim) DffSnapshotInto(dst []logic.V) []logic.V {
+	if len(dst) != len(s.dffs) {
+		dst = make([]logic.V, len(s.dffs))
 	}
-	return out
+	for i, id := range s.dffs {
+		dst[i] = s.Val[id]
+	}
+	return dst
 }
 
 // RestoreDffs sets all flip-flop values from a snapshot and schedules
@@ -468,7 +699,9 @@ func (s *Sim) RestoreDffs(vals []logic.V) {
 		panic("sim: snapshot length mismatch")
 	}
 	for i, id := range s.dffs {
-		s.drive(id, vals[i])
+		if vals[i] != s.Val[id] {
+			s.drive(id, vals[i])
+		}
 	}
 }
 

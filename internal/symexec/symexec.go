@@ -177,6 +177,14 @@ type analyzer struct {
 	cycles uint64
 	paths  int
 	merges int
+
+	// free is the snapshot free-list. Site bookkeeping captures a state
+	// on every decision and most of those die immediately (covered,
+	// repeated, or absorbed by a merge); recycling their buffers removes
+	// the dominant allocation of the exploration. Only exclusively-owned
+	// snapshots are recycled — world bases are shared between forked
+	// worlds and stay garbage-collected.
+	free []*snapshot
 }
 
 // Analyze runs input-independent gate activity analysis of prog on a
@@ -193,6 +201,42 @@ func Analyze(ctx context.Context, prog *asm.Program, opts Options) (*Result, *cp
 // AnalyzeOn runs the analysis on an existing core whose ROM is already
 // loaded. The core's netlist is not modified.
 func AnalyzeOn(ctx context.Context, core *cpu.Core, opts Options) (*Result, error) {
+	a, err := newAnalyzer(ctx, core, opts)
+	if err != nil {
+		return nil, err
+	}
+	s := a.s
+	for len(a.stack) > 0 {
+		if err := a.checkLimits(); err != nil {
+			return nil, err
+		}
+		w := a.stack[len(a.stack)-1]
+		a.stack = a.stack[:len(a.stack)-1]
+		a.paths++
+		if err := a.runWorld(w); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{
+		Toggled:  append([]bool(nil), s.Active...),
+		ConstVal: make([]logic.V, len(s.Val)),
+		Paths:    a.paths,
+		Merges:   a.merges,
+		Cycles:   a.cycles,
+	}
+	for i, v := range s.Val {
+		if !s.Active[i] {
+			res.ConstVal[i] = v
+		}
+	}
+	return res, nil
+}
+
+// newAnalyzer builds the exploration state for a loaded core: a fresh
+// simulator, Algorithm 1's reset-to-X initialization, and the initial
+// world on the stack.
+func newAnalyzer(ctx context.Context, core *cpu.Core, opts Options) (*analyzer, error) {
 	if opts.MaxCycles == 0 {
 		opts.MaxCycles = 20_000_000
 	}
@@ -238,36 +282,31 @@ func AnalyzeOn(ctx context.Context, core *cpu.Core, opts Options) (*Result, erro
 	s.Settle()
 
 	a.stack = append(a.stack, world{snap: a.capture()})
-	for len(a.stack) > 0 {
-		if err := a.checkLimits(); err != nil {
-			return nil, err
-		}
-		w := a.stack[len(a.stack)-1]
-		a.stack = a.stack[:len(a.stack)-1]
-		a.paths++
-		if err := a.runWorld(w); err != nil {
-			return nil, err
-		}
-	}
-
-	res := &Result{
-		Toggled:  append([]bool(nil), s.Active...),
-		ConstVal: make([]logic.V, len(s.Val)),
-		Paths:    a.paths,
-		Merges:   a.merges,
-		Cycles:   a.cycles,
-	}
-	for i, v := range s.Val {
-		if !s.Active[i] {
-			res.ConstVal[i] = v
-		}
-	}
-	return res, nil
+	return a, nil
 }
 
 func (a *analyzer) capture() *snapshot {
+	if n := len(a.free); n > 0 {
+		sn := a.free[n-1]
+		a.free = a.free[:n-1]
+		sn.dffs = a.s.DffSnapshotInto(sn.dffs)
+		if si, ok := a.s.Blocks()[1].(sim.SnapshotterInto); ok {
+			sn.ram = si.SnapshotInto(sn.ram)
+		} else {
+			sn.ram = a.s.Blocks()[1].Snapshot()
+		}
+		return sn
+	}
 	ram := a.s.Blocks()[1].Snapshot() // blocks are (ROM, RAM)
 	return &snapshot{dffs: a.s.DffSnapshot(), ram: ram}
+}
+
+// recycle returns an exclusively-owned snapshot's buffers to the
+// free-list. Callers must guarantee no live reference remains.
+func (a *analyzer) recycle(sn *snapshot) {
+	if sn != nil {
+		a.free = append(a.free, sn)
+	}
 }
 
 func (a *analyzer) restore(sn *snapshot) {
@@ -570,17 +609,23 @@ func (a *analyzer) visitSite(key uint32, forking bool) (killed bool, err error) 
 	}
 	if st.merged != nil {
 		if st.merged.covers(cur) {
+			a.recycle(cur)
 			return true, nil
 		}
 		a.merges++
-		st.merged = st.merged.merge(cur)
+		old := st.merged
+		st.merged = old.merge(cur)
+		a.recycle(old)
+		a.recycle(cur)
 		a.restore(st.merged)
 		return false, nil
 	}
 	if !forking {
 		if st.lastConcrete != nil && st.lastConcrete.equal(cur) {
+			a.recycle(cur)
 			return true, nil // input-independent cycle
 		}
+		a.recycle(st.lastConcrete)
 		st.lastConcrete = cur
 		return false, nil
 	}
@@ -589,15 +634,20 @@ func (a *analyzer) visitSite(key uint32, forking bool) (killed bool, err error) 
 	// fork, so the covering state's exploration subsumes this path.
 	for _, s := range st.seen {
 		if s.covers(cur) {
+			a.recycle(cur)
 			return true, nil
 		}
 	}
 	if len(st.seen) >= a.opts.MergeThreshold {
 		a.merges++
-		st.merged = cur
+		m := cur
 		for _, s := range st.seen {
-			st.merged = st.merged.merge(s)
+			nm := m.merge(s)
+			a.recycle(m)
+			a.recycle(s)
+			m = nm
 		}
+		st.merged = m
 		st.seen = nil
 		a.restore(st.merged)
 		return false, nil
