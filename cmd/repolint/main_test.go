@@ -1,0 +1,139 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree materializes path->source under a temp root.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestFlagsMissingContext(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/core/flow.go": `package core
+
+import "context"
+
+// tailor is the ctx-taking worker the exported wrapper hides.
+func tailor(ctx context.Context) error { return ctx.Err() }
+
+// Tailor drops the caller's control over cancellation.
+func Tailor() error { return tailor(context.Background()) }
+
+// Describe is cheap and should not be flagged.
+func Describe() string { return "flow" }
+`,
+	})
+	issues, err := run(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(issues) != 1 {
+		t.Fatalf("got %d issues, want 1: %v", len(issues), issues)
+	}
+	if !strings.Contains(issues[0].Msg, "Tailor does long-running work") ||
+		!strings.Contains(issues[0].Msg, "calls tailor, which takes a context") {
+		t.Errorf("unexpected issue: %+v", issues[0])
+	}
+}
+
+func TestFlagsWrapperOfCtxFunction(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/symexec/analyze.go": `package symexec
+
+import "context"
+
+func analyze(ctx context.Context, prog []byte) error { return nil }
+
+// Analyze is flagged even without touching context.Background: it can
+// only call analyze with a context it made up.
+func Analyze(prog []byte) error { return analyze(nil, prog) }
+`,
+	})
+	issues, err := run(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(issues) != 1 || !strings.Contains(issues[0].Msg, "calls analyze, which takes a context") {
+		t.Fatalf("got %v, want one wrapper issue", issues)
+	}
+}
+
+func TestFlagsStrayPrints(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/sim/debug.go": `package sim
+
+import "fmt"
+
+func step() {
+	fmt.Println("cycle done")
+	println("raw")
+}
+`,
+		// Test files and non-internal files are out of scope.
+		"internal/sim/debug_test.go": `package sim
+
+import "fmt"
+
+func helper() { fmt.Println("fine in tests") }
+`,
+	})
+	issues, err := run(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(issues) != 2 {
+		t.Fatalf("got %d issues, want 2: %v", len(issues), issues)
+	}
+	if !strings.Contains(issues[0].Msg, "fmt.Println") || !strings.Contains(issues[1].Msg, "builtin println") {
+		t.Errorf("unexpected issues: %v", issues)
+	}
+}
+
+func TestCtxRuleScopedToFlowPackages(t *testing.T) {
+	// The same wrapper shape outside core/symexec/faultinject is fine:
+	// report formatting, cell libraries etc. have no business with
+	// contexts.
+	root := writeTree(t, map[string]string{
+		"internal/report/table.go": `package report
+
+import "context"
+
+func render(ctx context.Context) error { return nil }
+
+func Render() error { return render(context.Background()) }
+`,
+	})
+	issues, err := run(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(issues) != 0 {
+		t.Fatalf("got %v, want none outside the flow packages", issues)
+	}
+}
+
+func TestRepositoryIsClean(t *testing.T) {
+	issues, err := run("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, is := range issues {
+		t.Errorf("%s:%d: %s", is.File, is.Line, is.Msg)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -86,7 +87,7 @@ func (tc *TailorCache) tailor(ctx context.Context, progs []*asm.Program, ws []*W
 	}
 	tc.mu.Unlock()
 	if ent != nil {
-		return tc.rehydrate(ent, progs[0])
+		return tc.rehydrate(ctx, ent, progs[0])
 	}
 
 	res, err := tailor(ctx, progs, ws, opts, false)
@@ -178,7 +179,11 @@ func (tc *TailorCache) cacheKey(progs []*asm.Program, ws []*Workload, opts Optio
 }
 
 // rehydrate turns a cache entry back into a full Result with live cores.
-func (tc *TailorCache) rehydrate(ent *cacheEntry, prog *asm.Program) (*Result, error) {
+// The decoded netlist is linted before being handed out: the codec has
+// its own integrity checks, but lint additionally catches a stored
+// encoding that is well-formed yet structurally wrong (the same gate the
+// cold flow applies before caching).
+func (tc *TailorCache) rehydrate(ctx context.Context, ent *cacheEntry, prog *asm.Program) (*Result, error) {
 	n, err := netlist.Decode(ent.bespokeBin)
 	if err != nil {
 		return nil, fmt.Errorf("core: corrupt cached netlist: %w", err)
@@ -200,6 +205,15 @@ func (tc *TailorCache) rehydrate(ent *cacheEntry, prog *asm.Program) (*Result, e
 	bespoke.N.Outputs = n.Outputs
 	bespoke.N.InvalidateDerived()
 	bespoke.LoadProgram(prog.Bytes, prog.Origin)
+
+	if lerr := lintGate(ctx, bespoke); lerr != nil {
+		gate := netlist.None
+		var le *LintError
+		if errors.As(lerr, &le) {
+			gate = le.Gate()
+		}
+		return nil, stageErr("lint", gate, fmt.Errorf("core: cached netlist: %w", lerr))
+	}
 
 	res := ent.result
 	res.BaselineCore = baseline

@@ -313,6 +313,22 @@ func tailor(ctx context.Context, progs []*asm.Program, ws []*Workload, opts Opti
 	}
 	stage = "resynth"
 	synthStats := synth.Optimize(bespoke.N, keepAlive(bespoke))
+	if testHookPostSynth != nil {
+		testHookPostSynth(bespoke.N)
+	}
+
+	// Static gate: no netlist leaves the flow without passing lint. The
+	// dynamic signoff below can only catch defects the quick workload
+	// happens to toggle; the analyzers are input-independent.
+	stage = "lint"
+	if lerr := lintGate(ctx, bespoke); lerr != nil {
+		gate := netlist.None
+		var le *LintError
+		if errors.As(lerr, &le) {
+			gate = le.Gate()
+		}
+		return nil, stageErr(stage, gate, lerr)
+	}
 
 	stage = "bespoke-signoff"
 	besMet, besTrace, err := measure(ctx, bespoke, progs[0], wsAt(ws, 0), lib, clockPs)

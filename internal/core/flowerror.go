@@ -15,7 +15,7 @@ import (
 // opaque message.
 type FlowError struct {
 	// Stage names the pipeline stage that failed: "init", "analysis",
-	// "baseline-signoff", "cut", "resynth", "bespoke-signoff",
+	// "baseline-signoff", "cut", "resynth", "lint", "bespoke-signoff",
 	// "multi-check", "vmin" or "workload".
 	Stage string
 	// Gate is the offending gate when the failure is localized to one

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"bespoke/internal/cpu"
+	"bespoke/internal/lint"
+	"bespoke/internal/netlist"
+)
+
+// LintError reports that a netlist produced by the flow failed static
+// analysis. It is the cause inside the "lint" stage *FlowError, so a
+// caller can name the analyzer and gate that rejected the design.
+type LintError struct {
+	// Findings holds the error-severity findings, in lint report order
+	// (never empty).
+	Findings []lint.Finding
+}
+
+func (e *LintError) Error() string {
+	if len(e.Findings) == 1 {
+		return fmt.Sprintf("netlist lint: %s", e.Findings[0])
+	}
+	return fmt.Sprintf("netlist lint: %d findings, first: %s", len(e.Findings), e.Findings[0])
+}
+
+// Analyzer returns the analyzer of the first (most severe-ordered)
+// finding.
+func (e *LintError) Analyzer() string { return e.Findings[0].Analyzer }
+
+// Gate returns the gate of the first finding.
+func (e *LintError) Gate() netlist.GateID { return e.Findings[0].Gate }
+
+// LintCore runs the static analyzers over a core's netlist with the
+// core's own observation surface as liveness roots (cfg.KeepAlive is
+// overwritten). This is the configuration the flow itself gates on; the
+// base elaboration and every tailored design are expected to come back
+// with zero findings.
+func LintCore(ctx context.Context, c *cpu.Core, cfg lint.Config) (*lint.Report, error) {
+	cfg.KeepAlive = c.ObservedGates()
+	return lint.Run(ctx, c.N, cfg)
+}
+
+// lintGate is the flow's accept/reject check on a produced core: any
+// error-severity finding rejects the design. Warnings are tolerated
+// here (the regression tests hold the flow to zero findings; the gate
+// only has to stop structurally broken netlists from escaping).
+func lintGate(ctx context.Context, c *cpu.Core) error {
+	rep, err := LintCore(ctx, c, lint.Config{})
+	if err != nil {
+		return err
+	}
+	if bad := rep.AtLeast(lint.Error); len(bad) > 0 {
+		return &LintError{Findings: bad}
+	}
+	return nil
+}
+
+// testHookPostSynth, when set, is called on the bespoke netlist between
+// re-synthesis and the lint gate. Tests use it to corrupt the netlist
+// and prove the gate rejects it; production flows never set it.
+var testHookPostSynth func(*netlist.Netlist)

@@ -89,6 +89,31 @@ type Core struct {
 	IrqTake builder.Wire
 }
 
+// ObservedGates returns every net that is read from outside the gate
+// graph: memory-macro pins and the observation surface above. Together
+// with the primary outputs these are the liveness roots of the design —
+// the set lint.Config.KeepAlive wants, and the same roots the
+// elaboration orphan sweep protects.
+func (c *Core) ObservedGates() []netlist.GateID {
+	var keep []netlist.GateID
+	keep = append(keep, c.ROM.Inputs()...)
+	keep = append(keep, c.RAM.Inputs()...)
+	keep = append(keep, c.OutData...)
+	keep = append(keep, c.P1Out...)
+	keep = append(keep, c.OutWr)
+	for _, r := range c.Regs {
+		keep = append(keep, r...)
+	}
+	keep = append(keep, c.State...)
+	keep = append(keep, c.IRReg...)
+	keep = append(keep, c.IEReg...)
+	keep = append(keep, c.IFReg...)
+	keep = append(keep, c.MAB...)
+	keep = append(keep, c.MdbOut...)
+	keep = append(keep, c.CPUEn, c.PerWrAny, c.IrqTake)
+	return keep
+}
+
 // PC returns the program counter flip-flop nets.
 func (c *Core) PC() builder.Bus { return c.Regs[msp430.PC] }
 
@@ -231,10 +256,64 @@ func Build() *Core {
 	g.wireRegisters()
 
 	g.c.N = b.N
+	g.c.sweepOrphans()
 	if err := b.N.Validate(); err != nil {
 		panic("cpu: generated netlist invalid: " + err.Error())
 	}
 	return g.c
+}
+
+// sweepOrphans retires combinational cones that nothing reads. The
+// word-level builder helpers elaborate full decode trees and minterm
+// sets, and the blocks above consume only the terms they need, so
+// elaboration leaves behind unnamed cones with no path to any output,
+// flip-flop or observed net — logic a synthesis front end would drop
+// during elaboration. Retiring it here keeps the base core free of
+// dead-logic lint findings and keeps the simulator from evaluating
+// gates that cannot matter. Gates are converted to constants in place,
+// never renumbered, so every recorded wire and macro pin stays valid.
+func (c *Core) sweepOrphans() {
+	n := c.N
+	live := make([]bool, len(n.Gates))
+	stack := make([]netlist.GateID, 0, len(n.Gates))
+	mark := func(id netlist.GateID) {
+		if id >= 0 && int(id) < len(n.Gates) && !live[id] {
+			live[id] = true
+			stack = append(stack, id)
+		}
+	}
+	for _, o := range n.Outputs {
+		mark(o.Gate)
+	}
+	for _, id := range c.ObservedGates() {
+		mark(id)
+	}
+	// Named gates are observation anchors (tests and tools look them up
+	// by name); flip-flops are state. Both are sinks in their own right.
+	for i := range n.Gates {
+		if n.Gates[i].Name != "" || n.Gates[i].Kind.IsSeq() {
+			mark(netlist.GateID(i))
+		}
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		g := &n.Gates[id]
+		for p := 0; p < g.Kind.NumInputs(); p++ {
+			if g.In[p] != netlist.None {
+				mark(g.In[p])
+			}
+		}
+	}
+	for i := range n.Gates {
+		g := &n.Gates[i]
+		if !live[i] && !g.Kind.IsSeq() && g.Kind.NumInputs() > 0 {
+			g.Kind = netlist.Const0
+			g.In = [3]netlist.GateID{netlist.None, netlist.None, netlist.None}
+			g.Reset = 0
+		}
+	}
+	n.InvalidateDerived()
 }
 
 func nameIRQ(i int) string {

@@ -1,0 +1,83 @@
+package cut
+
+import (
+	"context"
+	"testing"
+
+	"bespoke/internal/builder"
+	"bespoke/internal/lint"
+	"bespoke/internal/logic"
+	"bespoke/internal/netlist"
+)
+
+// TestApplyPassesStructuralLint is the cut pass's static self-check:
+// whatever Apply stitches, the result must stay structurally sound —
+// no floating pins, no multi-driven nets, no cycles, no cell misuse.
+// Foldable residue is legitimate at this point (re-synthesis runs next
+// and internal/synth asserts it disappears), so the residue and
+// liveness analyzers are deliberately not part of this gate.
+func TestApplyPassesStructuralLint(t *testing.T) {
+	b := builder.New()
+	in := b.Input("d")
+	inv := b.Not(in)
+	mid := b.And(in, inv)
+	out := b.Or(mid, inv)
+	b.Output("o", out)
+	n := b.N
+
+	toggled := make([]bool, len(n.Gates))
+	constVal := make([]logic.V, len(n.Gates))
+	for i := range toggled {
+		toggled[i] = true
+	}
+	toggled[mid] = false
+	constVal[mid] = logic.Zero
+	if _, err := Apply(n, toggled, constVal); err != nil {
+		t.Fatal(err)
+	}
+
+	structural := []string{"comb-loop", "multi-driven", "floating-input", "cell-lib"}
+	rep, err := lint.Run(context.Background(), n, lint.Config{Analyzers: structural})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.Findings {
+		t.Errorf("cut output: %s", f)
+	}
+}
+
+// TestCutResidueIsVisibleToLint pins down the division of labor: a cut
+// that stitches constants into every input of a kept gate leaves
+// foldable residue, and the const-residue analyzer sees exactly that
+// gate. (core.Tailor only accepts the netlist after re-synthesis has
+// removed it.)
+func TestCutResidueIsVisibleToLint(t *testing.T) {
+	b := builder.New()
+	in := b.Input("d")
+	x := b.Not(in)
+	y := b.Not(in)
+	kept := b.And(x, y)
+	b.Output("o", kept)
+	n := b.N
+
+	toggled := make([]bool, len(n.Gates))
+	constVal := make([]logic.V, len(n.Gates))
+	for i := range toggled {
+		toggled[i] = true
+	}
+	toggled[x] = false
+	constVal[x] = logic.One
+	toggled[y] = false
+	constVal[y] = logic.Zero
+	if _, err := Apply(n, toggled, constVal); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := lint.Run(context.Background(), n, lint.Config{Analyzers: []string{"const-residue"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Findings) != 1 || rep.Findings[0].Gate != netlist.GateID(kept) {
+		t.Fatalf("const-residue found %v, want exactly the stitched-around gate %d", rep.Findings, kept)
+	}
+}

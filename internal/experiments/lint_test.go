@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"bespoke/internal/core"
+	"bespoke/internal/cpu"
+	"bespoke/internal/lint"
+)
+
+// TestBaseCoreLintsClean is the static-analysis regression for the
+// general purpose design: the elaborated base microcontroller must have
+// zero findings of any severity from the full analyzer suite.
+func TestBaseCoreLintsClean(t *testing.T) {
+	rep, err := core.LintCore(context.Background(), cpu.Build(), lint.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.Findings {
+		t.Errorf("base core: %s", f)
+	}
+	if len(rep.Ran) != len(lint.Analyzers()) {
+		t.Errorf("ran %v, want the full suite", rep.Ran)
+	}
+}
+
+// TestTailoredCoresLintClean tailors every benchmark and holds each
+// bespoke core to zero findings. Short mode trims to the quick suite;
+// the full run covers all fifteen designs of the paper's Table 1.
+func TestTailoredCoresLintClean(t *testing.T) {
+	suite := Suite(testing.Short())
+	for _, b := range suite {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			res, err := core.Tailor(context.Background(), b.MustProg(), b.Workload(0), core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := core.LintCore(context.Background(), res.BespokeCore, lint.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, f := range rep.Findings {
+				t.Errorf("%s bespoke core: %s", b.Name, f)
+			}
+		})
+	}
+}

@@ -70,7 +70,13 @@ func Decode(data []byte) (*Netlist, error) {
 	d.pos = len(binaryMagic)
 
 	n := &Netlist{}
+	// Every decoded element consumes at least one input byte, so any
+	// count larger than the remaining input is corrupt. Checking before
+	// the make() keeps a forged header from forcing a huge allocation.
 	nMod := d.uvarint("module count")
+	if d.err == nil && nMod > uint64(len(data)) {
+		return nil, fmt.Errorf("netlist: module count %d exceeds input size", nMod)
+	}
 	n.Modules = make([]string, 0, nMod)
 	for i := uint64(0); i < nMod; i++ {
 		n.Modules = append(n.Modules, d.str("module path"))
@@ -105,6 +111,9 @@ func Decode(data []byte) (*Netlist, error) {
 		n.Gates = append(n.Gates, g)
 	}
 	nIn := d.uvarint("input count")
+	if d.err == nil && nIn > uint64(len(data)) {
+		return nil, fmt.Errorf("netlist: input count %d exceeds input size", nIn)
+	}
 	n.Inputs = make([]GateID, 0, nIn)
 	for i := uint64(0); i < nIn && d.err == nil; i++ {
 		id := GateID(d.uvarint("input ID"))
@@ -114,6 +123,9 @@ func Decode(data []byte) (*Netlist, error) {
 		n.Inputs = append(n.Inputs, id)
 	}
 	nOut := d.uvarint("output count")
+	if d.err == nil && nOut > uint64(len(data)) {
+		return nil, fmt.Errorf("netlist: output count %d exceeds input size", nOut)
+	}
 	n.Outputs = make([]Port, 0, nOut)
 	for i := uint64(0); i < nOut && d.err == nil; i++ {
 		name := d.str("output name")
