@@ -1,0 +1,199 @@
+// Command benchdiff guards kernel performance across PRs. It has two
+// modes:
+//
+//	benchdiff -summarize bench.txt          # go test -bench text -> JSON
+//	benchdiff [-threshold 1.10] old.json new.json
+//	benchdiff [-threshold 1.10] -baseline-glob 'BENCH_*.json' new.json
+//
+// The JSON shape is the committed BENCH_<n>.json trajectory:
+//
+//	{"BenchmarkName": {"ns_per_op": 123, "count": 3}}
+//
+// In diff mode the exit status is 1 when any benchmark present in both
+// files slowed down by more than the threshold ratio (default 1.10, a
+// 10% regression); benchmarks that appear or disappear are reported but
+// do not fail the diff, so the suite can grow. With -baseline-glob the
+// baseline is the highest-numbered matching file, so committing
+// BENCH_7.json later retargets the gate without a CI edit.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+type entry struct {
+	NsPerOp float64 `json:"ns_per_op"`
+	Count   int     `json:"count"`
+}
+
+func main() {
+	summarize := flag.Bool("summarize", false, "parse go test -bench output and emit the JSON summary")
+	threshold := flag.Float64("threshold", 1.10, "new/old ns-per-op ratio above which a benchmark fails")
+	baselineGlob := flag.String("baseline-glob", "", "pick the highest-numbered file matching this glob as the baseline")
+	flag.Parse()
+
+	if *summarize {
+		if flag.NArg() != 1 {
+			fatal(fmt.Errorf("-summarize wants exactly one bench.txt argument"))
+		}
+		if err := doSummarize(flag.Arg(0), os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	var oldPath, newPath string
+	switch {
+	case *baselineGlob != "" && flag.NArg() == 1:
+		p, err := newestBaseline(*baselineGlob)
+		if err != nil {
+			fatal(err)
+		}
+		if p == "" {
+			fmt.Printf("benchdiff: no baseline matches %q yet; nothing to compare\n", *baselineGlob)
+			return
+		}
+		oldPath, newPath = p, flag.Arg(0)
+	case *baselineGlob == "" && flag.NArg() == 2:
+		oldPath, newPath = flag.Arg(0), flag.Arg(1)
+	default:
+		fatal(fmt.Errorf("want old.json new.json, or -baseline-glob with new.json"))
+	}
+
+	older, err := load(oldPath)
+	if err != nil {
+		fatal(err)
+	}
+	newer, err := load(newPath)
+	if err != nil {
+		fatal(err)
+	}
+	if regressions := diff(os.Stdout, oldPath, older, newer, *threshold); regressions > 0 {
+		os.Exit(1)
+	}
+}
+
+// doSummarize averages each benchmark's ns/op over its repetitions in a
+// `go test -bench` text log and writes the JSON summary.
+func doSummarize(path string, w *os.File) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sum := map[string]*entry{}
+	line := regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := line.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		e := sum[m[1]]
+		if e == nil {
+			e = &entry{}
+			sum[m[1]] = e
+		}
+		e.NsPerOp += ns
+		e.Count++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	out := make(map[string]entry, len(sum))
+	for name, e := range sum {
+		out[name] = entry{NsPerOp: e.NsPerOp / float64(e.Count), Count: e.Count}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// newestBaseline returns the matching file with the highest embedded
+// number ("" when none match).
+func newestBaseline(glob string) (string, error) {
+	matches, err := filepath.Glob(glob)
+	if err != nil {
+		return "", err
+	}
+	num := regexp.MustCompile(`(\d+)`)
+	best, bestN := "", -1
+	for _, m := range matches {
+		n := 0
+		if d := num.FindString(filepath.Base(m)); d != "" {
+			n, _ = strconv.Atoi(d)
+		}
+		if n > bestN {
+			best, bestN = m, n
+		}
+	}
+	return best, nil
+}
+
+func load(path string) (map[string]entry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out map[string]entry
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
+}
+
+// diff prints a comparison table and returns the number of regressions
+// beyond the threshold.
+func diff(w *os.File, oldPath string, older, newer map[string]entry, threshold float64) int {
+	names := make([]string, 0, len(newer))
+	for name := range newer {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	regressions := 0
+	fmt.Fprintf(w, "benchdiff: baseline %s, fail ratio %.2f\n", oldPath, threshold)
+	for _, name := range names {
+		n := newer[name]
+		o, ok := older[name]
+		if !ok || o.NsPerOp <= 0 {
+			fmt.Fprintf(w, "  %-40s %12.0f ns/op  (new benchmark)\n", name, n.NsPerOp)
+			continue
+		}
+		ratio := n.NsPerOp / o.NsPerOp
+		verdict := "ok"
+		if ratio > threshold {
+			verdict = "REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(w, "  %-40s %12.0f -> %12.0f ns/op  %.3fx  %s\n", name, o.NsPerOp, n.NsPerOp, ratio, verdict)
+	}
+	for name := range older {
+		if _, ok := newer[name]; !ok {
+			fmt.Fprintf(w, "  %-40s (removed)\n", name)
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(w, "benchdiff: %d benchmark(s) slowed down more than %.0f%%\n", regressions, (threshold-1)*100)
+	} else {
+		fmt.Fprintln(w, "benchdiff: no regressions")
+	}
+	return regressions
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(2)
+}

@@ -1,16 +1,24 @@
 // Command bespoke-lint runs the structural netlist analyzers over the
-// elaborated base microcontroller or over a bespoke design tailored to
-// one or more applications — the static half of signoff, usable without
-// any workload.
+// elaborated base microcontroller, over a bespoke design tailored to one
+// or more applications, or over a serialized netlist file — the static
+// half of signoff, usable without any workload.
 //
 // Usage:
 //
 //	bespoke-lint                 # lint the elaborated base core
 //	bespoke-lint prog.s [more.s] # tailor first, lint the bespoke core
 //	bespoke-lint -bench mult     # same, for an embedded Table 1 benchmark
+//	bespoke-lint -netlist f.nl   # lint a serialized netlist file
+//	bespoke-lint -netlist f.nl -fix  # also fold const residue in place
 //
-// The exit status is 0 when the netlist is clean, 1 when there are
-// findings, 2 on usage or flow errors.
+// Findings can be waived per module with .lintwaive files (see -waive);
+// a .lintwaive in the current directory is picked up automatically.
+// Waived findings are still printed, marked, but do not affect the exit
+// status.
+//
+// The exit status is 0 when the netlist is clean (or every finding is
+// waived), 1 when there are unwaived findings, 2 on usage or flow
+// errors.
 package main
 
 import (
@@ -35,6 +43,9 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the report as JSON")
 	benches := flag.String("bench", "", "comma-separated Table 1 benchmark names to tailor and lint")
 	list := flag.Bool("list", false, "list the available analyzers and exit")
+	netFile := flag.String("netlist", "", "lint a serialized netlist file instead of building a core")
+	fix := flag.Bool("fix", false, "fold const-residue findings and rewrite -netlist in place")
+	waive := flag.String("waive", "", `comma-separated .lintwaive files (default: ./.lintwaive if present; "none" disables)`)
 	timeout := flag.Duration("timeout", 0, "wall-clock budget (0 = unlimited)")
 	flag.Parse()
 
@@ -43,6 +54,9 @@ func main() {
 			fmt.Println(name)
 		}
 		return
+	}
+	if *fix && *netFile == "" {
+		fatal(fmt.Errorf("-fix rewrites a netlist file in place and requires -netlist"))
 	}
 
 	ctx := context.Background()
@@ -56,12 +70,28 @@ func main() {
 	if *analyzers != "" {
 		cfg.Analyzers = strings.Split(*analyzers, ",")
 	}
-
-	target, c, err := buildTarget(ctx, *benches, flag.Args())
+	waivers, err := loadWaivers(*waive)
 	if err != nil {
 		fatal(err)
 	}
-	rep, err := core.LintCore(ctx, c, cfg)
+	cfg.Waivers = waivers
+
+	var (
+		target string
+		rep    *lint.Report
+		n      *netlist.Netlist
+	)
+	if *netFile != "" {
+		target = *netFile
+		n, rep, err = lintFile(ctx, *netFile, cfg, *fix)
+	} else {
+		var c *cpu.Core
+		target, c, err = buildTarget(ctx, *benches, flag.Args())
+		if err == nil {
+			n = c.N
+			rep, err = core.LintCore(ctx, c, cfg)
+		}
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -69,11 +99,51 @@ func main() {
 	if *jsonOut {
 		writeJSON(os.Stdout, target, rep)
 	} else {
-		writeText(os.Stdout, target, c.N, rep)
+		writeText(os.Stdout, target, n, rep)
 	}
-	if len(rep.Findings) > 0 {
+	if len(rep.Findings) > rep.Waived {
 		os.Exit(1)
 	}
+}
+
+// loadWaivers resolves the -waive flag: explicit files, "none", or the
+// conventional ./.lintwaive when present.
+func loadWaivers(arg string) ([]lint.Waiver, error) {
+	switch arg {
+	case "none":
+		return nil, nil
+	case "":
+		if _, err := os.Stat(".lintwaive"); err != nil {
+			return nil, nil
+		}
+		return lint.LoadWaiverFiles(".lintwaive")
+	default:
+		return lint.LoadWaiverFiles(strings.Split(arg, ",")...)
+	}
+}
+
+// lintFile lints a serialized netlist, optionally folding const residue
+// and rewriting the file first. The file carries no core context, so no
+// keep-alive roots are assumed.
+func lintFile(ctx context.Context, path string, cfg lint.Config, fix bool) (*netlist.Netlist, *lint.Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	n, err := netlist.Decode(data)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if fix {
+		if folded := lint.FoldConstResidue(n); folded > 0 {
+			if err := os.WriteFile(path, netlist.Encode(n), 0o644); err != nil {
+				return nil, nil, err
+			}
+			fmt.Fprintf(os.Stderr, "bespoke-lint: folded %d const-residue gate(s), rewrote %s\n", folded, path)
+		}
+	}
+	rep, err := lint.Run(ctx, n, cfg)
+	return n, rep, err
 }
 
 // buildTarget returns the core to lint: the plain elaboration with no
@@ -134,11 +204,18 @@ func writeText(w *os.File, target string, n *netlist.Netlist, rep *lint.Report) 
 		if f.Net != netlist.None {
 			loc += fmt.Sprintf(" net %d", f.Net)
 		}
-		fmt.Fprintf(w, "%s: %s:%s %s\n", f.Severity, f.Analyzer, loc, f.Detail)
+		waived := ""
+		if f.Waived {
+			waived = fmt.Sprintf(" (waived: %s)", f.WaiveReason)
+		}
+		fmt.Fprintf(w, "%s: %s:%s %s%s\n", f.Severity, f.Analyzer, loc, f.Detail, waived)
 	}
-	if len(rep.Findings) == 0 {
+	switch {
+	case len(rep.Findings) == 0:
 		fmt.Fprintln(w, "clean")
-	} else {
+	case rep.Waived > 0:
+		fmt.Fprintf(w, "%d findings (%d waived)\n", len(rep.Findings), rep.Waived)
+	default:
 		fmt.Fprintf(w, "%d findings\n", len(rep.Findings))
 	}
 }
@@ -146,29 +223,34 @@ func writeText(w *os.File, target string, n *netlist.Netlist, rep *lint.Report) 
 // jsonFinding mirrors lint.Finding with the severity as a string, so the
 // report is stable and readable for downstream tooling.
 type jsonFinding struct {
-	Analyzer string `json:"analyzer"`
-	Severity string `json:"severity"`
-	Gate     int32  `json:"gate"`
-	Net      int32  `json:"net"`
-	Detail   string `json:"detail"`
+	Analyzer    string `json:"analyzer"`
+	Severity    string `json:"severity"`
+	Gate        int32  `json:"gate"`
+	Net         int32  `json:"net"`
+	Detail      string `json:"detail"`
+	Waived      bool   `json:"waived,omitempty"`
+	WaiveReason string `json:"waive_reason,omitempty"`
 }
 
 type jsonReport struct {
 	Target   string        `json:"target"`
 	NumGates int           `json:"num_gates"`
 	Ran      []string      `json:"ran"`
+	Waived   int           `json:"waived"`
 	Findings []jsonFinding `json:"findings"`
 }
 
 func writeJSON(w *os.File, target string, rep *lint.Report) {
-	out := jsonReport{Target: target, NumGates: rep.NumGates, Ran: rep.Ran, Findings: []jsonFinding{}}
+	out := jsonReport{Target: target, NumGates: rep.NumGates, Ran: rep.Ran, Waived: rep.Waived, Findings: []jsonFinding{}}
 	for _, f := range rep.Findings {
 		out.Findings = append(out.Findings, jsonFinding{
-			Analyzer: f.Analyzer,
-			Severity: f.Severity.String(),
-			Gate:     int32(f.Gate),
-			Net:      int32(f.Net),
-			Detail:   f.Detail,
+			Analyzer:    f.Analyzer,
+			Severity:    f.Severity.String(),
+			Gate:        int32(f.Gate),
+			Net:         int32(f.Net),
+			Detail:      f.Detail,
+			Waived:      f.Waived,
+			WaiveReason: f.WaiveReason,
 		})
 	}
 	enc := json.NewEncoder(w)

@@ -1,0 +1,240 @@
+// Command bespoke-prove formally verifies the constants the tailoring
+// flow wants to stitch: for each target application it runs the activity
+// analysis, discharges every claimed constant as a SAT proof obligation
+// (implied by the program image and the recorded reachable bus values),
+// and checks the cut+re-synthesized netlist against the baseline with a
+// miter.
+//
+// Usage:
+//
+//	bespoke-prove -bench mult          # one Table 1 benchmark
+//	bespoke-prove -bench all           # the whole suite
+//	bespoke-prove prog.s [more.s]      # assembly files
+//
+// The exit status is 0 when every claim is proved or explicitly assumed
+// and the miter holds, 1 when any claim is refuted or a miter fails, 2 on
+// usage, flow or timeout errors. With -timeout, partial progress made
+// before the deadline is still reported.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"bespoke/internal/asm"
+	"bespoke/internal/bench"
+	"bespoke/internal/core"
+	"bespoke/internal/cut"
+	"bespoke/internal/equiv"
+	"bespoke/internal/symexec"
+	"bespoke/internal/synth"
+)
+
+type target struct {
+	name string
+	prog *asm.Program
+}
+
+// result is one target's proof outcome.
+type result struct {
+	Name     string  `json:"name"`
+	Claims   int     `json:"claims"`
+	Proved   int     `json:"proved"` // structural + SAT
+	Struct   int     `json:"proved_structural"`
+	SAT      int     `json:"proved_sat"`
+	Assumed  int     `json:"assumed"`
+	Refuted  int     `json:"refuted"`
+	Queries  int64   `json:"sat_queries"`
+	Miter    bool    `json:"miter_equivalent"`
+	MiterObs int     `json:"miter_obligations"`
+	Ms       float64 `json:"ms"`
+	Timeout  bool    `json:"timeout,omitempty"`
+	Error    string  `json:"error,omitempty"`
+}
+
+func main() {
+	benches := flag.String("bench", "", `comma-separated Table 1 benchmark names, or "all"`)
+	jsonOut := flag.Bool("json", false, "emit the results as JSON")
+	workers := flag.Int("workers", 0, "parallel proof workers (0 = all cores)")
+	budget := flag.Int64("budget", 0, "per-query conflict budget (0 = default)")
+	noMiter := flag.Bool("no-miter", false, "skip the base-vs-bespoke miter check")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget (0 = unlimited)")
+	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	targets, err := gather(*benches, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := equiv.Options{Workers: *workers, QueryBudget: *budget}
+	exit := 0
+	var results []result
+	for _, tg := range targets {
+		r := prove(ctx, tg, opts, !*noMiter)
+		results = append(results, r)
+		if !*jsonOut {
+			writeText(os.Stdout, r)
+		}
+		if r.Refuted > 0 || (!*noMiter && r.Error == "" && !r.Miter) {
+			if exit < 1 {
+				exit = 1
+			}
+		}
+		if r.Error != "" || r.Timeout {
+			exit = 2
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fatal(err)
+		}
+	}
+	os.Exit(exit)
+}
+
+// gather resolves benchmark names and assembly files into targets.
+func gather(benches string, files []string) ([]target, error) {
+	var targets []target
+	if benches == "all" {
+		for _, b := range bench.All() {
+			targets = append(targets, target{name: b.Name, prog: b.MustProg()})
+		}
+	} else if benches != "" {
+		for _, name := range strings.Split(benches, ",") {
+			b := bench.ByName(strings.TrimSpace(name))
+			if b == nil {
+				return nil, fmt.Errorf("unknown benchmark %q (see internal/bench)", name)
+			}
+			targets = append(targets, target{name: b.Name, prog: b.MustProg()})
+		}
+	}
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		p, err := asm.Assemble(string(src))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", f, err)
+		}
+		targets = append(targets, target{name: f, prog: p})
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("nothing to prove: pass -bench names or assembly files")
+	}
+	return targets, nil
+}
+
+// prove runs the analysis, the per-claim proofs and (optionally) the
+// miter for one target. Errors and timeouts are folded into the result so
+// a sweep keeps going.
+func prove(ctx context.Context, tg target, opts equiv.Options, miter bool) (r result) {
+	r = result{Name: tg.name}
+	start := time.Now()
+	defer func() { r.Ms = float64(time.Since(start).Microseconds()) / 1000 }()
+
+	res, c, err := symexec.Analyze(ctx, tg.prog, symexec.Options{RecordDomains: true})
+	if err != nil {
+		r.Error = err.Error()
+		return r
+	}
+	env, err := equiv.NewCoreEnv(c, res)
+	if err != nil {
+		r.Error = err.Error()
+		return r
+	}
+	r.Claims = len(env.Claims)
+
+	rep, err := equiv.ProveClaims(ctx, env, opts)
+	if err != nil {
+		var le *equiv.LimitError
+		if errors.As(err, &le) && le.Report != nil {
+			// Partial progress: report what was decided before the abort.
+			r.Timeout = true
+			rep = le.Report
+		} else {
+			r.Error = err.Error()
+			return r
+		}
+	}
+	r.Struct = rep.ProvedStructural
+	r.SAT = rep.ProvedSAT
+	r.Proved = rep.ProvedStructural + rep.ProvedSAT
+	r.Assumed = rep.Assumed
+	r.Refuted = rep.Refuted
+	r.Queries = rep.SATQueries
+
+	if !miter || r.Timeout || r.Refuted > 0 {
+		return r
+	}
+	bespoke := c.Clone()
+	if _, err := cut.Apply(bespoke.N, res.Toggled, res.ConstVal); err != nil {
+		r.Error = err.Error()
+		return r
+	}
+	keep := append(bespoke.ROM.Inputs(), bespoke.RAM.Inputs()...)
+	synth.Optimize(bespoke.N, keep)
+	mres, err := equiv.ProveMiter(ctx, env, bespoke.N, rep, opts)
+	if err != nil {
+		var le *equiv.LimitError
+		if errors.As(err, &le) {
+			r.Timeout = true
+			return r
+		}
+		r.Error = err.Error()
+		return r
+	}
+	r.Miter = mres.Equivalent
+	r.MiterObs = mres.Obligations
+	return r
+}
+
+func writeText(w *os.File, r result) {
+	if r.Error != "" {
+		fmt.Fprintf(w, "%-18s ERROR: %s\n", r.Name, r.Error)
+		return
+	}
+	status := "proved"
+	if r.Refuted > 0 {
+		status = "REFUTED"
+	} else if r.Timeout {
+		status = "timeout (partial)"
+	} else if r.MiterObs > 0 && !r.Miter {
+		status = "MITER FAILED"
+	}
+	miter := "-"
+	if r.MiterObs > 0 {
+		miter = fmt.Sprintf("ok/%d", r.MiterObs)
+		if !r.Miter {
+			miter = fmt.Sprintf("FAIL/%d", r.MiterObs)
+		}
+	}
+	fmt.Fprintf(w, "%-18s %5d claims: %5d structural %5d sat %4d assumed %3d refuted  miter %-8s %7.0fms  %s\n",
+		r.Name, r.Claims, r.Struct, r.SAT, r.Assumed, r.Refuted, miter, r.Ms, status)
+}
+
+func fatal(err error) {
+	var fe *core.FlowError
+	if errors.As(err, &fe) {
+		fmt.Fprintf(os.Stderr, "bespoke-prove: the %s stage failed\n", fe.Stage)
+		fmt.Fprintf(os.Stderr, "bespoke-prove:   %v\n", fe.Err)
+	} else {
+		fmt.Fprintln(os.Stderr, "bespoke-prove:", err)
+	}
+	os.Exit(2)
+}

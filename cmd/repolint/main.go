@@ -1,9 +1,11 @@
 // Command repolint enforces repository conventions that go vet does not
 // cover, using only the standard library's go/ast:
 //
-//   - Exported functions in internal/core, internal/symexec and
-//     internal/faultinject that do long-running work must take a leading
-//     context.Context, so every flow entry point stays cancellable. A
+//   - Exported functions in internal/core, internal/symexec,
+//     internal/faultinject, internal/sat and internal/equiv that do
+//     long-running work must take a leading context.Context, so every
+//     flow entry point and every unbounded solver call stays
+//     cancellable. A
 //     function counts as long-running when it reaches for
 //     context.Background/context.TODO itself or calls a same-package
 //     function that takes a leading context.
@@ -60,6 +62,8 @@ var ctxPackages = map[string]bool{
 	"internal/core":        true,
 	"internal/symexec":     true,
 	"internal/faultinject": true,
+	"internal/sat":         true,
+	"internal/equiv":       true,
 }
 
 // run lints the tree under root and returns the issues sorted by file

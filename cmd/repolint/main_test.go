@@ -137,3 +137,40 @@ func TestRepositoryIsClean(t *testing.T) {
 		t.Errorf("%s:%d: %s", is.File, is.Line, is.Msg)
 	}
 }
+
+func TestCtxRuleCoversSolverPackages(t *testing.T) {
+	// The SAT solver and the equivalence engine can run unboundedly; an
+	// exported entry point that hides the context is flagged there too.
+	root := writeTree(t, map[string]string{
+		"internal/sat/solver.go": `package sat
+
+import "context"
+
+func solve(ctx context.Context) error { return ctx.Err() }
+
+// Solve hides the caller's cancellation from an unbounded search.
+func Solve() error { return solve(context.Background()) }
+`,
+		"internal/equiv/prove.go": `package equiv
+
+import "context"
+
+func prove(ctx context.Context) error { return nil }
+
+// ProveClaims wraps the ctx worker without threading a context.
+func ProveClaims() error { return prove(nil) }
+`,
+	})
+	issues, err := run(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(issues) != 2 {
+		t.Fatalf("got %d issues, want 2: %v", len(issues), issues)
+	}
+	for _, is := range issues {
+		if !strings.Contains(is.Msg, "without a leading context.Context") {
+			t.Errorf("unexpected issue: %+v", is)
+		}
+	}
+}

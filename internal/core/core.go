@@ -6,6 +6,8 @@
 //	analysis := input-independent gate activity analysis (symexec)
 //	cut      := remove untoggleable gates, stitch constants (cut)
 //	resynth  := fold constants, drop floating logic (synth)
+//	prove    := optional formal gate: SAT-prove the constants and the
+//	            base-vs-bespoke equivalence (equiv)
 //	P&R      := place, extract wire parasitics (layout)
 //	signoff  := timing/Vmin (sta) and activity-based power (power)
 //
@@ -23,6 +25,7 @@ import (
 	"bespoke/internal/cells"
 	"bespoke/internal/cpu"
 	"bespoke/internal/cut"
+	"bespoke/internal/equiv"
 	"bespoke/internal/layout"
 	"bespoke/internal/logic"
 	"bespoke/internal/msp430"
@@ -69,6 +72,15 @@ type Options struct {
 	ClockPs float64
 	// Lib overrides the cell library.
 	Lib *cells.Library
+	// Prove enables the formal gate: every cut constant must be proved
+	// implied by the proof environment (or recorded as assumed), and the
+	// bespoke netlist must be miter-equivalent to the baseline, for every
+	// target program. A refuted constant aborts the flow with a
+	// *equiv.ProofError inside the "prove" stage. Setting Prove forces
+	// Sym.RecordDomains on so the prover sees the reachable bus values.
+	Prove bool
+	// ProveOpts tunes the proof engine when Prove is set.
+	ProveOpts equiv.Options
 }
 
 // Metrics are the signoff numbers for one design point.
@@ -90,6 +102,9 @@ type Result struct {
 	Analysis   *symexec.Result
 	CutStats   cut.Stats
 	SynthStats synth.Stats
+	// Proofs holds the per-program formal verification outcomes when
+	// Options.Prove was set (nil otherwise).
+	Proofs []ProofResult
 
 	// Headline ratios (fractions, 0..1).
 	GateSavings      float64
@@ -265,6 +280,9 @@ func tailor(ctx context.Context, progs []*asm.Program, ws []*Workload, opts Opti
 	if lib == nil {
 		lib = cells.TSMC65()
 	}
+	if opts.Prove {
+		opts.Sym.RecordDomains = true
+	}
 
 	// Gate activity analysis per program; the union of toggled gates
 	// must be retained (gate IDs align across builds: elaboration is
@@ -276,6 +294,9 @@ func tailor(ctx context.Context, progs []*asm.Program, ws []*Workload, opts Opti
 	union, err := UnionAnalysis(ctx, progs, opts.Sym)
 	if err != nil {
 		return nil, stageErr(stage, netlist.None, err)
+	}
+	if testHookAnalysis != nil {
+		testHookAnalysis(union)
 	}
 
 	// Baseline signoff. The clock is set so the baseline just meets
@@ -330,6 +351,22 @@ func tailor(ctx context.Context, progs []*asm.Program, ws []*Workload, opts Opti
 		return nil, stageErr(stage, gate, lerr)
 	}
 
+	// Formal gate: prove the recorded constants and the equivalence of
+	// the transformation before spending any signoff effort.
+	var proofs []ProofResult
+	if opts.Prove {
+		stage = "prove"
+		proofs, err = proveGate(ctx, bespoke, progs, union, opts.ProveOpts)
+		if err != nil {
+			gate := netlist.None
+			var pe *equiv.ProofError
+			if errors.As(err, &pe) {
+				gate = pe.Gate
+			}
+			return nil, stageErr(stage, gate, err)
+		}
+	}
+
 	stage = "bespoke-signoff"
 	besMet, besTrace, err := measure(ctx, bespoke, progs[0], wsAt(ws, 0), lib, clockPs)
 	if err != nil {
@@ -355,6 +392,7 @@ func tailor(ctx context.Context, progs []*asm.Program, ws []*Workload, opts Opti
 		Analysis:      union,
 		CutStats:      cutStats,
 		SynthStats:    synthStats,
+		Proofs:        proofs,
 		BespokeCore:   bespoke,
 		BaselineCore:  baseline,
 	}
@@ -411,8 +449,57 @@ func UnionAnalysis(ctx context.Context, progs []*asm.Program, opts symexec.Optio
 		union.Paths += res.Paths
 		union.Cycles += res.Cycles
 		union.Merges += res.Merges
+		union.BusDomains = mergeDomains(union.BusDomains, res.BusDomains)
 	}
 	return union, nil
+}
+
+// mergeDomains unions per-bus value sets across programs. The union of
+// over-approximations is an over-approximation of every program's
+// reachable set, so proofs under the merged domain stay sound for each
+// individual program.
+func mergeDomains(a, b []symexec.BusDomain) []symexec.BusDomain {
+	if len(a) == 0 {
+		return b
+	}
+	byName := make(map[string]int, len(a))
+	for i := range a {
+		byName[a[i].Name] = i
+	}
+	for _, d := range b {
+		i, ok := byName[d.Name]
+		if !ok {
+			a = append(a, d)
+			byName[d.Name] = len(a) - 1
+			continue
+		}
+		m := &a[i]
+		if d.Exceeded {
+			m.Exceeded = true
+		}
+		if m.Exceeded {
+			m.Words = nil
+			continue
+		}
+		seen := make(map[uint32]struct{}, len(m.Words))
+		for _, w := range m.Words {
+			seen[uint32(w.Val)|uint32(w.Mask)<<16] = struct{}{}
+		}
+		for _, w := range d.Words {
+			key := uint32(w.Val) | uint32(w.Mask)<<16
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			if len(m.Words) >= symexec.MaxDomainWords {
+				m.Exceeded = true
+				m.Words = nil
+				break
+			}
+			seen[key] = struct{}{}
+			m.Words = append(m.Words, w)
+		}
+	}
+	return a
 }
 
 // analyzeGuarded wraps one worker's symexec.Analyze call so a panic from

@@ -15,8 +15,8 @@ import (
 // opaque message.
 type FlowError struct {
 	// Stage names the pipeline stage that failed: "init", "analysis",
-	// "baseline-signoff", "cut", "resynth", "lint", "bespoke-signoff",
-	// "multi-check", "vmin" or "workload".
+	// "baseline-signoff", "cut", "resynth", "lint", "prove",
+	// "bespoke-signoff", "multi-check", "vmin" or "workload".
 	Stage string
 	// Gate is the offending gate when the failure is localized to one
 	// (e.g. a cut constant that was not concrete); netlist.None otherwise.

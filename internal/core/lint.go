@@ -7,6 +7,7 @@ import (
 	"bespoke/internal/cpu"
 	"bespoke/internal/lint"
 	"bespoke/internal/netlist"
+	"bespoke/internal/symexec"
 )
 
 // LintError reports that a netlist produced by the flow failed static
@@ -61,3 +62,8 @@ func lintGate(ctx context.Context, c *cpu.Core) error {
 // re-synthesis and the lint gate. Tests use it to corrupt the netlist
 // and prove the gate rejects it; production flows never set it.
 var testHookPostSynth func(*netlist.Netlist)
+
+// testHookAnalysis, when set, is called on the union analysis before the
+// cut. Tests use it to corrupt a recorded constant and prove the formal
+// gate refutes it; production flows never set it.
+var testHookAnalysis func(*symexec.Result)

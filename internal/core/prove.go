@@ -1,0 +1,85 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"bespoke/internal/asm"
+	"bespoke/internal/cpu"
+	"bespoke/internal/equiv"
+	"bespoke/internal/symexec"
+)
+
+// ProofResult is the formal verification outcome for one program: the
+// per-claim report and the base-vs-bespoke miter result under that
+// program's ROM image.
+type ProofResult struct {
+	Program int
+	Claims  *equiv.Report
+	Miter   *equiv.MiterResult
+}
+
+// proveGate discharges the flow's formal obligations: for every target
+// program, prove each cut constant implied by the proof environment (or
+// record it as assumed), and prove the cut+re-synthesized netlist
+// miter-equivalent to the baseline modulo the assumed claims.
+//
+// A refuted claim aborts with a *equiv.ProofError. Before returning it,
+// the counterexample stimulus is replayed in gate-level cosimulation on
+// both designs — the divergence is attached as the regression input that
+// exhibits the bug dynamically.
+func proveGate(ctx context.Context, bespoke *cpu.Core, progs []*asm.Program, union *symexec.Result, opts equiv.Options) ([]ProofResult, error) {
+	out := make([]ProofResult, 0, len(progs))
+	for pi, p := range progs {
+		// A fresh build per program: elaboration is deterministic, so
+		// gate IDs align with the union analysis; only the ROM image
+		// differs.
+		base := cpu.Build()
+		base.LoadProgram(p.Bytes, p.Origin)
+		env, err := equiv.NewCoreEnv(base, union)
+		if err != nil {
+			return nil, fmt.Errorf("program %d: %w", pi, err)
+		}
+		rep, err := equiv.ProveClaims(ctx, env, opts)
+		if err != nil {
+			return nil, fmt.Errorf("program %d: %w", pi, err)
+		}
+		if rep.Refuted > 0 {
+			return nil, proofError(ctx, base, bespoke, env, rep)
+		}
+		mres, err := equiv.ProveMiter(ctx, env, bespoke.N, rep, opts)
+		if err != nil {
+			return nil, fmt.Errorf("program %d: %w", pi, err)
+		}
+		if !mres.Equivalent {
+			return nil, fmt.Errorf("program %d: bespoke netlist is not equivalent to the baseline (first mismatch at %s)",
+				pi, mres.Mismatch)
+		}
+		out = append(out, ProofResult{Program: pi, Claims: rep, Miter: mres})
+	}
+	return out, nil
+}
+
+// proofError converts the first refutation into a *equiv.ProofError,
+// replaying its counterexample in cosimulation so the error carries a
+// demonstrated divergence, not just a SAT model.
+func proofError(ctx context.Context, base, bespoke *cpu.Core, env *equiv.Env, rep *equiv.Report) error {
+	refs := rep.Refutations()
+	first := refs[0]
+	g := env.N.Gates[first.Claim.Gate]
+	perr := &equiv.ProofError{
+		Gate:           first.Claim.Gate,
+		Kind:           g.Kind,
+		Name:           g.Name,
+		Claimed:        first.Claim.Val,
+		Counterexample: first.Counterexample,
+		Refuted:        rep.Refuted,
+	}
+	if first.Counterexample != nil {
+		// Best effort: a replay failure must not mask the refutation.
+		if div, err := equiv.Replay(ctx, base, bespoke, first.Counterexample); err == nil {
+			perr.Divergence = div
+		}
+	}
+	return perr
+}

@@ -38,15 +38,24 @@ type Stats struct {
 	Kept int
 }
 
-// Apply removes all untoggleable gates from n in place. toggled and
-// constVal come from the activity analysis; constVal must be a concrete
-// 0/1 for every untoggled gate. Primary inputs and constants are never
-// cut. It returns cutting statistics.
-func Apply(n *netlist.Netlist, toggled []bool, constVal []logic.V) (Stats, error) {
+// Claim is one constant the activity analysis asserts about the design:
+// gate Gate never toggles and always outputs Val. The cutting stage
+// stitches claims into the netlist; the formal equivalence engine
+// (internal/equiv) discharges them as proof obligations.
+type Claim struct {
+	Gate netlist.GateID
+	Val  logic.V
+}
+
+// Plan computes the cut list without modifying the netlist: every real
+// cell the analysis declared untoggleable, with its recorded constant.
+// constVal must be a concrete 0/1 for every untoggled gate; an X constant
+// is a *GateError.
+func Plan(n *netlist.Netlist, toggled []bool, constVal []logic.V) ([]Claim, error) {
 	if len(toggled) != len(n.Gates) || len(constVal) != len(n.Gates) {
-		return Stats{}, fmt.Errorf("cut: analysis arrays do not match netlist size")
+		return nil, fmt.Errorf("cut: analysis arrays do not match netlist size")
 	}
-	var st Stats
+	var claims []Claim
 	for i := range n.Gates {
 		g := &n.Gates[i]
 		switch g.Kind {
@@ -54,23 +63,45 @@ func Apply(n *netlist.Netlist, toggled []bool, constVal []logic.V) (Stats, error
 			continue
 		}
 		if toggled[i] {
-			st.Kept++
 			continue
 		}
-		var k netlist.Kind
 		switch constVal[i] {
-		case logic.Zero:
-			k = netlist.Const0
-		case logic.One:
-			k = netlist.Const1
+		case logic.Zero, logic.One:
+			claims = append(claims, Claim{Gate: netlist.GateID(i), Val: constVal[i]})
 		default:
-			return st, &GateError{Gate: netlist.GateID(i), Kind: g.Kind, Name: g.Name}
+			return nil, &GateError{Gate: netlist.GateID(i), Kind: g.Kind, Name: g.Name}
 		}
+	}
+	return claims, nil
+}
+
+// Apply removes all untoggleable gates from n in place. toggled and
+// constVal come from the activity analysis; constVal must be a concrete
+// 0/1 for every untoggled gate. Primary inputs and constants are never
+// cut. It returns cutting statistics.
+func Apply(n *netlist.Netlist, toggled []bool, constVal []logic.V) (Stats, error) {
+	claims, err := Plan(n, toggled, constVal)
+	if err != nil {
+		return Stats{}, err
+	}
+	var st Stats
+	for _, c := range claims {
+		g := &n.Gates[c.Gate]
 		// Stitch: the gate becomes the constant itself, so every fanout
 		// pin reads the recorded constant value.
-		g.Kind = k
+		g.Kind = netlist.Const0
+		if c.Val == logic.One {
+			g.Kind = netlist.Const1
+		}
 		g.In = [3]netlist.GateID{netlist.None, netlist.None, netlist.None}
 		st.Cut++
+	}
+	for i := range n.Gates {
+		switch n.Gates[i].Kind {
+		case netlist.Input, netlist.Const0, netlist.Const1:
+		default:
+			st.Kept++
+		}
 	}
 	n.InvalidateDerived()
 	return st, nil

@@ -1,0 +1,618 @@
+// Package equiv is the formal verification layer of the bespoke flow: it
+// proves, rather than observes, that the constants the activity analysis
+// claims are safe. The paper's cutting argument is dynamic ("no explored
+// execution toggles this gate"); this package discharges each claimed
+// constant as a SAT proof obligation over a Tseitin-encoded frame of the
+// netlist, and checks the cut+re-synthesized bespoke core against the
+// base core with a miter.
+//
+// # Proof semantics
+//
+// The engine reasons by 1-induction over the claim set. A frame encodes
+// one settled combinational cycle: flip-flop outputs and primary inputs
+// are free variables, restricted by the environment — the program image
+// (exact ROM read function), memory enable gating, and the reachable
+// value sets internal/symexec records per architectural bus. Claims on
+// flip-flops enter the induction hypothesis (the flip-flop currently
+// holds its claimed constant); the obligation is that its D input cannot
+// take the opposite value. Claims on combinational gates must hold in the
+// frame itself.
+//
+// Every claim lands in exactly one verdict:
+//
+//   - ProvedStructural: ternary constant propagation from the flip-flop
+//     claims alone forces the gate to its claimed value.
+//   - ProvedSAT: it is UNSAT for the gate to take the opposite value
+//     under the environment plus the other claims.
+//   - Refuted: the opposite value is reachable AND the claimed value
+//     contradicts the environment plus the other claims — the claim is
+//     genuinely wrong, and the satisfying assignment of the violation
+//     query is a concrete stimulus (see Replay) that exhibits the
+//     divergence in cosimulation.
+//   - Assumed: both values are consistent with the environment — the
+//     recorded invariants are too weak to decide the claim, so it rests
+//     on the activity analysis (the paper's original argument).
+//
+// A sound environment can only grow the Proved set; Refuted is reserved
+// for hard contradictions so honest-but-unprovable constants never fail
+// the flow.
+package equiv
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"bespoke/internal/cut"
+	"bespoke/internal/logic"
+	"bespoke/internal/netlist"
+	"bespoke/internal/parallel"
+	"bespoke/internal/sat"
+	"bespoke/internal/symexec"
+)
+
+// Env is the proof environment: the base netlist, the claims to
+// discharge, and everything known about reachable states.
+type Env struct {
+	// N is the base (uncut) netlist.
+	N *netlist.Netlist
+	// Claims are the constants to prove (from cut.Plan).
+	Claims []cut.Claim
+	// ROM, when non-nil, encodes the exact program-image read function.
+	ROM *ROMSpec
+	// RAM, when non-nil, encodes the data-memory enable gating.
+	RAM *RAMSpec
+	// Domains are per-bus reachable value sets from the activity
+	// analysis (may be nil: fewer claims become provable, never wrong).
+	Domains []symexec.BusDomain
+}
+
+// Verdict classifies one claim after proving.
+type Verdict uint8
+
+const (
+	// Unproved means the engine did not reach this claim (limit hit).
+	Unproved Verdict = iota
+	// ProvedStructural: implied by flip-flop claims via constant
+	// propagation, no SAT search needed.
+	ProvedStructural
+	// ProvedSAT: the opposite value is UNSAT under the environment.
+	ProvedSAT
+	// Assumed: neither provable nor contradicted; rests on the dynamic
+	// analysis.
+	Assumed
+	// Refuted: contradicts the environment plus the other claims.
+	Refuted
+)
+
+// String names the verdict for reports.
+func (v Verdict) String() string {
+	switch v {
+	case ProvedStructural:
+		return "proved-structural"
+	case ProvedSAT:
+		return "proved-sat"
+	case Assumed:
+		return "assumed"
+	case Refuted:
+		return "refuted"
+	}
+	return "unproved"
+}
+
+// Counterexample is one satisfying assignment of a violation query,
+// projected onto the controllable state: it is a concrete machine state
+// plus input vector under which the design contradicts a claim. Replay
+// turns it into a cosimulation divergence.
+type Counterexample struct {
+	// Gate and Claimed identify the violated claim; Observed is the
+	// value the gate takes in this assignment.
+	Gate     netlist.GateID
+	Claimed  logic.V
+	Observed logic.V
+	// Dffs assigns every flip-flop output net.
+	Dffs map[netlist.GateID]logic.V
+	// Inputs assigns every primary-input net, including the memory-macro
+	// data nets.
+	Inputs map[netlist.GateID]logic.V
+	// RAM read seen by the frame: with En set, word RAMAddr holds
+	// RAMData (preload it before replaying).
+	RAMEn   bool
+	RAMAddr uint16
+	RAMData uint16
+}
+
+// ClaimResult is the per-claim outcome.
+type ClaimResult struct {
+	Claim   cut.Claim
+	Verdict Verdict
+	// Counterexample is set for Refuted claims discharged by a query
+	// pair (nil when refuted by the consistency pre-check).
+	Counterexample *Counterexample
+}
+
+// Report is the outcome of ProveClaims.
+type Report struct {
+	// Results is indexed like Env.Claims.
+	Results []ClaimResult
+	// Verdict tallies.
+	ProvedStructural int
+	ProvedSAT        int
+	Assumed          int
+	Refuted          int
+	// SATQueries counts individual Solve calls dispatched.
+	SATQueries int64
+	// Conflicts aggregates solver conflicts across all workers.
+	Conflicts int64
+}
+
+// Refutations returns the refuted results, lowest gate first.
+func (r *Report) Refutations() []ClaimResult {
+	var out []ClaimResult
+	for _, cr := range r.Results {
+		if cr.Verdict == Refuted {
+			out = append(out, cr)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Claim.Gate < out[j].Claim.Gate })
+	return out
+}
+
+func (r *Report) tally() {
+	r.ProvedStructural, r.ProvedSAT, r.Assumed, r.Refuted = 0, 0, 0, 0
+	for _, cr := range r.Results {
+		switch cr.Verdict {
+		case ProvedStructural:
+			r.ProvedStructural++
+		case ProvedSAT:
+			r.ProvedSAT++
+		case Assumed:
+			r.Assumed++
+		case Refuted:
+			r.Refuted++
+		}
+	}
+}
+
+// ProofError is the structured flow error for a refuted claim: the
+// activity analysis recorded a constant that formally contradicts the
+// design. It carries the counterexample stimulus so the divergence can be
+// replayed in cosimulation as a regression input.
+type ProofError struct {
+	Gate    netlist.GateID
+	Kind    netlist.Kind
+	Name    string
+	Claimed logic.V
+	// Counterexample is nil when the claim fell to the consistency
+	// pre-check (mutually contradictory claim set).
+	Counterexample *Counterexample
+	// Divergence is the counterexample replayed in cosimulation, when the
+	// caller ran Replay (the flow does): the regression stimulus shown to
+	// actually split the designs.
+	Divergence *Divergence
+	// Refuted is the total number of refuted claims (this error reports
+	// the first by gate ID).
+	Refuted int
+}
+
+func (e *ProofError) Error() string {
+	s := fmt.Sprintf("equiv: claim refuted: gate %d (%s %q) is not constant %s",
+		e.Gate, e.Kind, e.Name, e.Claimed)
+	if e.Refuted > 1 {
+		s += fmt.Sprintf(" (and %d more refuted claims)", e.Refuted-1)
+	}
+	if e.Divergence != nil {
+		s += fmt.Sprintf(" [cosim replay: %s]", e.Divergence)
+	} else if e.Counterexample != nil {
+		s += " [counterexample stimulus available]"
+	}
+	return s
+}
+
+// LimitError reports that proving was aborted by its context with the
+// partial progress made, mirroring symexec.LimitError.
+type LimitError struct {
+	// Reason is "deadline exceeded" or "cancelled".
+	Reason string
+	// Proved, Assumed, Refuted and Remaining summarize progress at abort.
+	Proved    int
+	Assumed   int
+	Refuted   int
+	Remaining int
+	// Report carries the partial per-claim results.
+	Report *Report
+	// Err is the underlying context error.
+	Err error
+}
+
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("equiv: %s with %d claims proved, %d assumed, %d refuted, %d remaining",
+		e.Reason, e.Proved, e.Assumed, e.Refuted, e.Remaining)
+}
+
+// Unwrap exposes the context error.
+func (e *LimitError) Unwrap() error { return e.Err }
+
+// Options tunes proving.
+type Options struct {
+	// Workers is the parallel query dispatch width (0 = GOMAXPROCS).
+	Workers int
+	// QueryBudget caps solver conflicts per individual query; a query
+	// that exhausts it is classified Assumed. 0 means the default
+	// (50000).
+	QueryBudget int64
+}
+
+func (o Options) queryBudget() int64 {
+	if o.QueryBudget > 0 {
+		return o.QueryBudget
+	}
+	return 50_000
+}
+
+// ProveClaims discharges every claim in env and classifies it. The
+// context bounds the whole run: cancellation or a deadline aborts with a
+// *LimitError carrying the partial report. A refuted claim is NOT an
+// error here — callers gate on Report.Refuted (the flow converts it to a
+// *ProofError).
+func ProveClaims(ctx context.Context, env *Env, opts Options) (*Report, error) {
+	if err := checkEnv(env); err != nil {
+		return nil, err
+	}
+	rep := &Report{Results: make([]ClaimResult, len(env.Claims))}
+	for i, c := range env.Claims {
+		rep.Results[i].Claim = c
+	}
+
+	// Phase 1: ternary constant propagation from the flip-flop claims.
+	// This discharges the bulk of the cut (fanout cones of constant
+	// state) without touching the solver.
+	vals, err := structuralVals(env.N, env.Claims)
+	if err != nil {
+		return nil, err
+	}
+	var residue []int // indexes into env.Claims needing SAT
+	for i, c := range env.Claims {
+		if vals[targetNet(env.N, c)] == c.Val {
+			rep.Results[i].Verdict = ProvedStructural
+			continue
+		}
+		residue = append(residue, i)
+	}
+
+	// The permanent-unit claim set: flip-flop claims (the induction
+	// hypothesis of every query) plus structurally proved combinational
+	// claims (implied by them). Residue combinational claims stay
+	// per-query assumptions so a wrong one can be isolated and refuted.
+	var unitIdx, residueComb []int
+	for i, c := range env.Claims {
+		if env.N.Gates[c.Gate].Kind == netlist.Dff || rep.Results[i].Verdict == ProvedStructural {
+			unitIdx = append(unitIdx, i)
+		}
+	}
+	for _, i := range residue {
+		if env.N.Gates[env.Claims[i].Gate].Kind != netlist.Dff {
+			residueComb = append(residueComb, i)
+		}
+	}
+
+	// Phase 2: consistency pre-check. The permanent units must be
+	// satisfiable together with the environment — otherwise every later
+	// UNSAT would be vacuous. Units are passed as assumptions here so an
+	// inconsistent subset can be extracted and refuted.
+	if len(residue) > 0 {
+		incons, err := consistencyCheck(ctx, env, unitIdx, opts)
+		if err != nil {
+			return nil, err
+		}
+		if len(incons) > 0 {
+			for _, i := range incons {
+				rep.Results[i].Verdict = Refuted
+			}
+			rep.tally()
+			return rep, nil
+		}
+	}
+
+	// Phase 3: per-claim violation queries, fanned out with one
+	// solver+frame per worker.
+	type outcome struct {
+		verdict Verdict
+		cex     *Counterexample
+		queries int64
+	}
+	outcomes := make([]outcome, len(residue))
+	perr := parallel.ForEachState(ctx, opts.Workers, len(residue),
+		func(worker int) *prover {
+			return newProver(env, unitIdx, residueComb, opts)
+		},
+		func(p *prover, qi int) error {
+			if p.buildErr != nil {
+				return p.buildErr
+			}
+			ci := residue[qi]
+			v, cex, nq, err := p.decide(ctx, ci)
+			if err != nil {
+				return err
+			}
+			outcomes[qi] = outcome{verdict: v, cex: cex, queries: nq}
+			return nil
+		})
+	for qi, o := range outcomes {
+		if o.verdict == Unproved {
+			continue // worker never reached it (abort)
+		}
+		rep.Results[residue[qi]].Verdict = o.verdict
+		rep.Results[residue[qi]].Counterexample = o.cex
+		rep.SATQueries += o.queries
+	}
+	rep.tally()
+	if perr != nil {
+		reason := "cancelled"
+		if ctx.Err() == context.DeadlineExceeded {
+			reason = "deadline exceeded"
+		}
+		remaining := 0
+		for _, cr := range rep.Results {
+			if cr.Verdict == Unproved {
+				remaining++
+			}
+		}
+		return nil, &LimitError{
+			Reason:    reason,
+			Proved:    rep.ProvedStructural + rep.ProvedSAT,
+			Assumed:   rep.Assumed,
+			Refuted:   rep.Refuted,
+			Remaining: remaining,
+			Report:    rep,
+			Err:       perr,
+		}
+	}
+	return rep, nil
+}
+
+func checkEnv(env *Env) error {
+	if env == nil || env.N == nil {
+		return fmt.Errorf("equiv: nil environment")
+	}
+	for _, c := range env.Claims {
+		if c.Gate < 0 || int(c.Gate) >= len(env.N.Gates) {
+			return fmt.Errorf("equiv: claim on out-of-range gate %d", c.Gate)
+		}
+		if c.Val != logic.Zero && c.Val != logic.One {
+			return fmt.Errorf("equiv: claim on gate %d has non-constant value %s", c.Gate, c.Val)
+		}
+		k := env.N.Gates[c.Gate].Kind
+		if k == netlist.Input || k == netlist.Const0 || k == netlist.Const1 {
+			return fmt.Errorf("equiv: claim on non-claimable gate %d (%s)", c.Gate, k)
+		}
+	}
+	return nil
+}
+
+// targetNet maps a claim to the net its proof obligation constrains: the
+// gate itself for combinational claims, the D input for flip-flops (the
+// induction step proves the next value).
+func targetNet(n *netlist.Netlist, c cut.Claim) netlist.GateID {
+	if n.Gates[c.Gate].Kind == netlist.Dff {
+		return n.Gates[c.Gate].In[0]
+	}
+	return c.Gate
+}
+
+// structuralVals evaluates one ternary frame with every flip-flop pinned
+// to its claimed constant (X otherwise) and all inputs X. A gate that
+// settles to a concrete value is forced to it in every reachable state
+// satisfying the flip-flop claims.
+func structuralVals(n *netlist.Netlist, claims []cut.Claim) ([]logic.V, error) {
+	vals := make([]logic.V, len(n.Gates))
+	for i := range n.Gates {
+		switch n.Gates[i].Kind {
+		case netlist.Const0:
+			vals[i] = logic.Zero
+		case netlist.Const1:
+			vals[i] = logic.One
+		default:
+			vals[i] = logic.X
+		}
+	}
+	for _, c := range claims {
+		if n.Gates[c.Gate].Kind == netlist.Dff {
+			vals[c.Gate] = c.Val
+		}
+	}
+	topo, err := n.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	at := func(id netlist.GateID) logic.V {
+		if id == netlist.None {
+			return logic.X
+		}
+		return vals[id]
+	}
+	for _, id := range topo {
+		g := &n.Gates[id]
+		vals[id] = g.Kind.Eval(at(g.In[0]), at(g.In[1]), at(g.In[2]))
+	}
+	return vals, nil
+}
+
+// consistencyCheck verifies that the permanent-unit claims are jointly
+// satisfiable with the environment. It returns the indexes of an
+// inconsistent claim subset (empty when consistent).
+func consistencyCheck(ctx context.Context, env *Env, unitIdx []int, opts Options) ([]int, error) {
+	s := sat.New()
+	f, err := newFrame(s, env.N, nil)
+	if err != nil {
+		return nil, err
+	}
+	encodeEnv(f, env)
+	assume := make([]sat.Lit, len(unitIdx))
+	byLit := make(map[sat.Lit]int, len(unitIdx))
+	for k, i := range unitIdx {
+		c := env.Claims[i]
+		assume[k] = f.lit(c.Gate, c.Val)
+		byLit[assume[k]] = i
+	}
+	st, err := s.Solve(ctx, assume...)
+	if err != nil {
+		return nil, &LimitError{Reason: ctxReason(ctx), Remaining: len(env.Claims), Err: err}
+	}
+	switch st {
+	case sat.Sat:
+		return nil, nil
+	case sat.Unsat:
+		var incons []int
+		for _, l := range s.FailedAssumptions() {
+			if i, ok := byLit[l]; ok {
+				incons = append(incons, i)
+			}
+		}
+		if len(incons) == 0 {
+			// The environment alone is UNSAT: that means the ROM/domain
+			// constraints contradict each other, which indicates a bug.
+			return nil, fmt.Errorf("equiv: proof environment is unsatisfiable without any claims")
+		}
+		return incons, nil
+	}
+	return nil, fmt.Errorf("equiv: consistency check exhausted its budget")
+}
+
+func ctxReason(ctx context.Context) string {
+	if ctx.Err() == context.DeadlineExceeded {
+		return "deadline exceeded"
+	}
+	return "cancelled"
+}
+
+// encodeEnv adds the environment clauses (ROM function, RAM gating, bus
+// domains) to a frame.
+func encodeEnv(f *frame, env *Env) {
+	if env.ROM != nil {
+		encodeROM(f, *env.ROM)
+	}
+	if env.RAM != nil {
+		encodeRAMGate(f, *env.RAM)
+	}
+	encodeDomains(f, env.Domains)
+}
+
+// prover is one worker's solver instance for phase-3 queries.
+type prover struct {
+	env      *Env
+	f        *frame
+	s        *sat.Solver
+	combLit  map[int]sat.Lit // residue comb claim index -> assumption literal
+	combIdx  []int
+	buildErr error
+	budget   int64
+}
+
+func newProver(env *Env, unitIdx, residueComb []int, opts Options) *prover {
+	p := &prover{env: env, budget: opts.queryBudget()}
+	p.s = sat.New()
+	f, err := newFrame(p.s, env.N, nil)
+	if err != nil {
+		p.buildErr = err
+		return p
+	}
+	p.f = f
+	encodeEnv(f, env)
+	for _, i := range unitIdx {
+		c := env.Claims[i]
+		if !p.s.AddClause(f.lit(c.Gate, c.Val)) {
+			// Cannot happen: phase 2 proved these consistent. Guard anyway.
+			p.buildErr = fmt.Errorf("equiv: unit claims inconsistent after consistency check")
+			return p
+		}
+	}
+	p.combLit = make(map[int]sat.Lit, len(residueComb))
+	p.combIdx = residueComb
+	for _, i := range residueComb {
+		c := env.Claims[i]
+		p.combLit[i] = f.lit(c.Gate, c.Val)
+	}
+	return p
+}
+
+// decide runs the violation/support query pair for claim index ci.
+func (p *prover) decide(ctx context.Context, ci int) (Verdict, *Counterexample, int64, error) {
+	c := p.env.Claims[ci]
+	t := targetNet(p.env.N, c)
+	base := make([]sat.Lit, 0, len(p.combIdx)+1)
+	for _, i := range p.combIdx {
+		if i == ci {
+			continue // never assume the claim under test
+		}
+		base = append(base, p.combLit[i])
+	}
+
+	// Query A: can the target net take the opposite value?
+	p.s.SetBudget(p.budget)
+	st, err := p.s.Solve(ctx, append(base, p.f.lit(t, logic.Not(c.Val)))...)
+	if err != nil {
+		return Unproved, nil, 1, err
+	}
+	switch st {
+	case sat.Unsat:
+		return ProvedSAT, nil, 1, nil
+	case sat.Unknown:
+		return Assumed, nil, 1, nil
+	}
+	cex := p.capture(c)
+
+	// Query B: is the claimed value itself still consistent? If not, the
+	// claim contradicts the environment plus the other claims — a hard
+	// refutation, with A's witness as the stimulus.
+	p.s.SetBudget(p.budget)
+	st, err = p.s.Solve(ctx, append(base, p.f.lit(t, c.Val))...)
+	if err != nil {
+		return Unproved, nil, 2, err
+	}
+	if st == sat.Unsat {
+		return Refuted, cex, 2, nil
+	}
+	return Assumed, nil, 2, nil
+}
+
+// capture projects the current model onto a Counterexample.
+func (p *prover) capture(c cut.Claim) *Counterexample {
+	return captureModel(p.s, p.f, p.env, c)
+}
+
+// captureModel builds a Counterexample from a satisfying model of f.
+func captureModel(s *sat.Solver, f *frame, env *Env, c cut.Claim) *Counterexample {
+	cex := &Counterexample{
+		Gate:    c.Gate,
+		Claimed: c.Val,
+		Dffs:    map[netlist.GateID]logic.V{},
+		Inputs:  map[netlist.GateID]logic.V{},
+	}
+	val := func(g netlist.GateID) logic.V {
+		return logic.FromBool(s.Value(f.vars[g]))
+	}
+	cex.Observed = val(targetNet(env.N, c))
+	for i := range env.N.Gates {
+		switch env.N.Gates[i].Kind {
+		case netlist.Dff:
+			cex.Dffs[netlist.GateID(i)] = val(netlist.GateID(i))
+		case netlist.Input:
+			cex.Inputs[netlist.GateID(i)] = val(netlist.GateID(i))
+		}
+	}
+	if env.RAM != nil {
+		cex.RAMEn = val(env.RAM.En) == logic.One
+		for i, b := range env.RAM.Addr {
+			if val(b) == logic.One {
+				cex.RAMAddr |= 1 << uint(i)
+			}
+		}
+		for i, b := range env.RAM.Data {
+			if val(b) == logic.One {
+				cex.RAMData |= 1 << uint(i)
+			}
+		}
+	}
+	return cex
+}

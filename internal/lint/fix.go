@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"bespoke/internal/logic"
+	"bespoke/internal/netlist"
+)
+
+// FoldConstResidue rewrites every const-residue finding in place: a
+// combinational gate whose connected inputs are all Const0/Const1 cells
+// is evaluated and replaced by the constant it computes, exactly like
+// the cut stitches retired gates. Folding one gate can turn its readers
+// into residue, so the pass iterates to a fixpoint. It returns the
+// number of gates folded. This is the repair behind bespoke-lint -fix;
+// the flow's own re-synthesis (synth.Optimize) subsumes it, so the flow
+// never needs this, but a netlist edited or corrupted outside the flow
+// can be healed without re-running tailoring.
+func FoldConstResidue(n *netlist.Netlist) int {
+	folded := 0
+	for {
+		changed := 0
+		for i := range n.Gates {
+			g := &n.Gates[i]
+			if !isComb(g.Kind) {
+				continue
+			}
+			ni := g.Kind.NumInputs()
+			vals := [3]logic.V{logic.X, logic.X, logic.X}
+			all := true
+			for p := 0; p < ni; p++ {
+				in := g.In[p]
+				if in == netlist.None || int(in) >= len(n.Gates) || in < 0 {
+					all = false
+					break
+				}
+				switch n.Gates[in].Kind {
+				case netlist.Const0:
+					vals[p] = logic.Zero
+				case netlist.Const1:
+					vals[p] = logic.One
+				default:
+					all = false
+				}
+				if !all {
+					break
+				}
+			}
+			if !all {
+				continue
+			}
+			v := g.Kind.Eval(vals[0], vals[1], vals[2])
+			if v != logic.Zero && v != logic.One {
+				continue // defensive: Eval of binary inputs is binary
+			}
+			g.Kind = netlist.Const0
+			if v == logic.One {
+				g.Kind = netlist.Const1
+			}
+			g.In = [3]netlist.GateID{netlist.None, netlist.None, netlist.None}
+			changed++
+		}
+		folded += changed
+		if changed == 0 {
+			return folded
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"testing"
+
+	"bespoke/internal/netlist"
+)
+
+// TestFoldConstResidue builds a two-deep residue chain: and(1,0) is
+// immediate residue, and folding it turns or(and,0) into residue too,
+// so the fixpoint must fold both.
+func TestFoldConstResidue(t *testing.T) {
+	n := netlist.New()
+	c1 := n.Add(netlist.Gate{Kind: netlist.Const1})
+	c0 := n.Add(netlist.Gate{Kind: netlist.Const0})
+	a := n.Add(netlist.Gate{Kind: netlist.And, In: [3]netlist.GateID{c1, c0}})
+	o := n.Add(netlist.Gate{Kind: netlist.Or, In: [3]netlist.GateID{a, c1}})
+	q := n.Add(netlist.Gate{Kind: netlist.Dff, In: [3]netlist.GateID{o}})
+	n.MarkOutput("q", q)
+
+	rep := runAll(t, n, Config{Analyzers: []string{"const-residue"}})
+	if len(rep.Findings) == 0 {
+		t.Fatal("setup produced no const-residue findings")
+	}
+
+	folded := FoldConstResidue(n)
+	if folded != 2 {
+		t.Fatalf("folded %d gates, want 2", folded)
+	}
+	if n.Gates[a].Kind != netlist.Const0 {
+		t.Errorf("and(1,0) folded to %s, want Const0", n.Gates[a].Kind)
+	}
+	if n.Gates[o].Kind != netlist.Const1 {
+		t.Errorf("or(0,1) folded to %s, want Const1", n.Gates[o].Kind)
+	}
+
+	rep = runAll(t, n, Config{Analyzers: []string{"const-residue"}})
+	if len(rep.Findings) != 0 {
+		t.Fatalf("residue remains after fix: %v", rep.Findings)
+	}
+	if FoldConstResidue(n) != 0 {
+		t.Error("second fix pass still folded gates")
+	}
+}
+
+// TestFoldConstResidueLeavesCleanAlone: a netlist with live inputs has
+// nothing to fold.
+func TestFoldConstResidueLeavesCleanAlone(t *testing.T) {
+	n := netlist.New()
+	in := n.Add(netlist.Gate{Kind: netlist.Input, Name: "a"})
+	c1 := n.Add(netlist.Gate{Kind: netlist.Const1})
+	g := n.Add(netlist.Gate{Kind: netlist.And, In: [3]netlist.GateID{in, c1}})
+	n.MarkOutput("g", g)
+	if folded := FoldConstResidue(n); folded != 0 {
+		t.Fatalf("folded %d gates in a residue-free netlist", folded)
+	}
+	if n.Gates[g].Kind != netlist.And {
+		t.Error("live gate was rewritten")
+	}
+}

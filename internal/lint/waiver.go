@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Waiver suppresses matching findings instead of ad-hoc analyzer
+// exclusions: the analyzer still runs and still reports, but a waived
+// finding no longer counts toward the severity gates (Max, AtLeast), so
+// intentionally-quiet logic — a debug latch nothing reads, a power-on X
+// the workload tolerates — can be signed off per module with a recorded
+// justification while the same analyzer keeps protecting every other
+// module.
+type Waiver struct {
+	// Analyzer is the registry name to waive, or "*" for any analyzer.
+	Analyzer string
+	// Module is the netlist module whose gates are covered, or "*" for
+	// any. Findings not localized to a gate match only "*".
+	Module string
+	// Reason is the recorded justification (never empty in a parsed
+	// waiver file).
+	Reason string
+	// Origin is the "file:line" provenance, for reports.
+	Origin string
+}
+
+// matches reports whether the waiver covers a finding raised in the
+// given module ("" when the finding has no gate).
+func (w *Waiver) matches(f *Finding, module string) bool {
+	if w.Analyzer != "*" && w.Analyzer != f.Analyzer {
+		return false
+	}
+	if w.Module == "*" {
+		return true
+	}
+	return module != "" && w.Module == module
+}
+
+// ParseWaivers parses waiver-file text. One waiver per line:
+//
+//	<analyzer> <module> <justification...>
+//
+// where <analyzer> is a registry name or "*" and <module> is a netlist
+// module name or "*". Blank lines and lines starting with "#" are
+// skipped. The justification is mandatory: a waiver with no recorded
+// reason is exactly the ad-hoc exclusion this mechanism replaces.
+// origin names the source (a path) for error messages and provenance.
+func ParseWaivers(src, origin string) ([]Waiver, error) {
+	var out []Waiver
+	for lineNo, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("%s:%d: want \"analyzer module justification...\", got %q", origin, lineNo+1, line)
+		}
+		name := fields[0]
+		if name != "*" {
+			known := false
+			for _, a := range registry {
+				if a.name == name {
+					known = true
+					break
+				}
+			}
+			if !known {
+				return nil, fmt.Errorf("%s:%d: unknown analyzer %q (have %v)", origin, lineNo+1, name, Analyzers())
+			}
+		}
+		out = append(out, Waiver{
+			Analyzer: name,
+			Module:   fields[1],
+			Reason:   strings.Join(fields[2:], " "),
+			Origin:   fmt.Sprintf("%s:%d", origin, lineNo+1),
+		})
+	}
+	return out, nil
+}
+
+// LoadWaiverFiles reads and parses the given .lintwaive files,
+// concatenating their waivers in argument order.
+func LoadWaiverFiles(paths ...string) ([]Waiver, error) {
+	var out []Waiver
+	for _, p := range paths {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		ws, err := ParseWaivers(string(src), p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ws...)
+	}
+	return out, nil
+}

@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bespoke/internal/netlist"
+)
+
+// unreadInModule builds a netlist with one unread-output warning inside
+// a named module and returns it with the offending gate.
+func unreadInModule(module string) (*netlist.Netlist, netlist.GateID) {
+	n := netlist.New()
+	m := n.AddModule(module)
+	a := n.Add(netlist.Gate{Kind: netlist.Input, Name: "a"})
+	g := n.Add(netlist.Gate{Kind: netlist.Not, In: [3]netlist.GateID{a}, Module: m, Name: "quiet"})
+	q := n.Add(netlist.Gate{Kind: netlist.Dff, In: [3]netlist.GateID{a}})
+	n.MarkOutput("q", q)
+	return n, g
+}
+
+func TestWaiverSuppressesByModule(t *testing.T) {
+	n, g := unreadInModule("dbg")
+	rep := runAll(t, n, Config{Waivers: []Waiver{
+		{Analyzer: "unread-output", Module: "dbg", Reason: "debug latch is intentionally quiet"},
+	}})
+	var f *Finding
+	for i := range rep.Findings {
+		if rep.Findings[i].Gate == g && rep.Findings[i].Analyzer == "unread-output" {
+			f = &rep.Findings[i]
+		}
+	}
+	if f == nil {
+		t.Fatalf("unread-output finding missing: %v", rep.Findings)
+	}
+	if !f.Waived || f.WaiveReason == "" {
+		t.Fatalf("finding not waived: %+v", f)
+	}
+	if rep.Waived != 1 {
+		t.Errorf("Report.Waived = %d, want 1", rep.Waived)
+	}
+	if got := rep.AtLeast(Info); len(got) != len(rep.Findings)-1 {
+		t.Errorf("AtLeast still counts the waived finding: %v", got)
+	}
+	if !strings.Contains(f.String(), "waived: debug latch") {
+		t.Errorf("String() does not surface the waiver: %s", f)
+	}
+}
+
+func TestWaiverModuleMismatchKeepsFinding(t *testing.T) {
+	n, g := unreadInModule("dbg")
+	rep := runAll(t, n, Config{Waivers: []Waiver{
+		{Analyzer: "unread-output", Module: "timer", Reason: "other module"},
+		{Analyzer: "comb-loop", Module: "dbg", Reason: "other analyzer"},
+	}})
+	for _, f := range rep.Findings {
+		if f.Gate == g && f.Analyzer == "unread-output" && f.Waived {
+			t.Fatalf("mismatched waiver suppressed the finding: %+v", f)
+		}
+	}
+	if rep.Waived != 0 {
+		t.Errorf("Report.Waived = %d, want 0", rep.Waived)
+	}
+}
+
+func TestWaiverWildcards(t *testing.T) {
+	n, g := unreadInModule("dbg")
+	rep := runAll(t, n, Config{Waivers: []Waiver{{Analyzer: "*", Module: "*", Reason: "waive everything"}}})
+	if rep.Waived != len(rep.Findings) {
+		t.Fatalf("wildcard waiver left %d of %d findings", len(rep.Findings)-rep.Waived, len(rep.Findings))
+	}
+	if _, any := rep.Max(); any {
+		t.Error("Max reports a severity with every finding waived")
+	}
+	_ = g
+}
+
+func TestParseWaivers(t *testing.T) {
+	src := `
+# intentionally-quiet debug logic
+unread-output dbg the watchpoint latch is probe-only
+*             rtos scheduler scratch state
+`
+	ws, err := ParseWaivers(src, "test.lintwaive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 2 {
+		t.Fatalf("parsed %d waivers, want 2", len(ws))
+	}
+	if ws[0].Analyzer != "unread-output" || ws[0].Module != "dbg" ||
+		ws[0].Reason != "the watchpoint latch is probe-only" {
+		t.Errorf("waiver 0 = %+v", ws[0])
+	}
+	if ws[1].Analyzer != "*" || ws[1].Origin != "test.lintwaive:4" {
+		t.Errorf("waiver 1 = %+v", ws[1])
+	}
+}
+
+func TestParseWaiversRejects(t *testing.T) {
+	for _, src := range []string{
+		"unread-output dbg",        // missing justification
+		"no-such-analyzer dbg why", // unknown analyzer
+		"unread-output",            // missing module
+	} {
+		if _, err := ParseWaivers(src, "bad"); err == nil {
+			t.Errorf("ParseWaivers(%q) accepted", src)
+		}
+	}
+}
+
+func TestLoadWaiverFiles(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, ".lintwaive")
+	if err := os.WriteFile(p, []byte("x-source dbg reset probed externally\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ws, err := LoadWaiverFiles(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 1 || ws[0].Analyzer != "x-source" {
+		t.Fatalf("loaded %+v", ws)
+	}
+	if _, err := LoadWaiverFiles(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,131 @@
+package sat
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+)
+
+// runIncrementalTrial builds one random instance on a fresh solver and
+// fires a sequence of assumption queries at the SAME solver, cross-checking
+// every answer against exhaustive enumeration and validating every Sat
+// model. This is the regression net for incremental-solving state bugs
+// (stale seen flags, watch corruption, bogus level-0 units): a wrong
+// answer on query k>0 that a fresh solver would get right.
+func runIncrementalTrial(t *testing.T, seed int64, nvMin, nvSpread, ncBase int, ncScale float64, queries, maxAssume int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	nv := nvMin + rng.Intn(nvSpread)
+	s := New()
+	vars := make([]Var, nv)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	var clauses [][]Lit
+	nc := ncBase + int(float64(nv)*ncScale) + rng.Intn(8)
+	for i := 0; i < nc; i++ {
+		k := 3
+		if ncScale == 0 {
+			k = 1 + rng.Intn(3)
+		}
+		var cl []Lit
+		for j := 0; j < k; j++ {
+			cl = append(cl, MkLit(vars[rng.Intn(nv)], rng.Intn(2) == 1))
+		}
+		clauses = append(clauses, cl)
+		if !s.AddClause(cl...) {
+			return // top-level unsat during construction; nothing to query
+		}
+	}
+	eval := func(m uint64, cl []Lit) bool {
+		for _, l := range cl {
+			bit := m>>uint(l.Var())&1 == 1
+			if bit != l.Negated() {
+				return true
+			}
+		}
+		return false
+	}
+	for q := 0; q < queries; q++ {
+		na := rng.Intn(maxAssume + 1)
+		var as []Lit
+		amask, aval := uint64(0), uint64(0)
+		consistent := true
+		for j := 0; j < na; j++ {
+			v := rng.Intn(nv)
+			neg := rng.Intn(2) == 1
+			as = append(as, MkLit(vars[v], neg))
+			bit := uint64(0)
+			if !neg {
+				bit = 1
+			}
+			if amask>>uint(v)&1 == 1 && (aval>>uint(v)&1) != bit {
+				consistent = false
+			}
+			amask |= 1 << uint(v)
+			if bit == 1 {
+				aval |= 1 << uint(v)
+			}
+		}
+		want := false
+		if consistent {
+			for m := uint64(0); m < 1<<uint(nv); m++ {
+				if m&amask != aval {
+					continue
+				}
+				good := true
+				for _, cl := range clauses {
+					if !eval(m, cl) {
+						good = false
+						break
+					}
+				}
+				if good {
+					want = true
+					break
+				}
+			}
+		}
+		st, err := s.Solve(context.Background(), as...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (st == Sat) != want {
+			t.Fatalf("seed %d query %d: solver %v, brute force sat=%v (assumptions %v)", seed, q, st, want, as)
+		}
+		if st == Sat {
+			var m uint64
+			for i, v := range vars {
+				if s.Value(v) {
+					m |= 1 << uint(i)
+				}
+			}
+			if m&amask != aval {
+				t.Fatalf("seed %d query %d: model violates assumptions %v", seed, q, as)
+			}
+			for ci, cl := range clauses {
+				if !eval(m, cl) {
+					t.Fatalf("seed %d query %d: model violates clause %d (%v)", seed, q, ci, cl)
+				}
+			}
+		}
+	}
+}
+
+// TestIncrementalVsBruteForce: many small instances, mixed clause widths,
+// 30 queries each on the same solver.
+func TestIncrementalVsBruteForce(t *testing.T) {
+	for trial := 0; trial < 200; trial++ {
+		runIncrementalTrial(t, int64(trial), 4, 6, 5, 0, 30, 3)
+	}
+}
+
+// TestIncrementalHard: larger 3-CNF instances near the phase transition so
+// the queries generate real conflicts, learnt clauses and minimization.
+// This is the regression test for the stale-seen leak in clause
+// minimization that strengthened later learnt clauses into unsound ones.
+func TestIncrementalHard(t *testing.T) {
+	for trial := 0; trial < 60; trial++ {
+		runIncrementalTrial(t, int64(1000+trial), 12, 5, 0, 4.1, 25, 4)
+	}
+}

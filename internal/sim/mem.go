@@ -187,6 +187,13 @@ func (r *RAM) CloneEmpty() *RAM {
 	return c
 }
 
+// Pins exposes the bound pin nets for observers that need per-pin
+// structure rather than the flat Inputs list (the formal equivalence
+// engine encodes the macro's read function over them).
+func (r *RAM) Pins() (addr, wdata, rdata []netlist.GateID, en, wenLo, wenHi netlist.GateID) {
+	return r.addr, r.wdata, r.rdata, r.en, r.wenLo, r.wenHi
+}
+
 // Word returns the current contents of word index i (testbench use).
 func (r *RAM) Word(i uint16) logic.Word { return r.words[i] }
 
@@ -221,6 +228,11 @@ func (r *ROM) Clone() *ROM {
 	c := NewROM(r.addr, r.rdata, r.en)
 	copy(c.words, r.words)
 	return c
+}
+
+// Pins exposes the bound pin nets, mirroring (*RAM).Pins.
+func (r *ROM) Pins() (addr, rdata []netlist.GateID, en netlist.GateID) {
+	return r.addr, r.rdata, r.en
 }
 
 // Inputs implements Block.

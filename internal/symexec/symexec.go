@@ -44,6 +44,37 @@ type Options struct {
 	// loops always run exactly (input-independent repeats still kill
 	// the path).
 	MergeThreshold int
+
+	// RecordDomains additionally collects, for every architectural
+	// register bus, the set of three-valued values the bus held in any
+	// settled cycle of any explored path (Result.BusDomains). The formal
+	// equivalence engine uses these as reachable-state invariants; they
+	// are off by default because the bookkeeping costs a few percent of
+	// analysis throughput.
+	RecordDomains bool
+}
+
+// MaxDomainWords caps the cube set recorded per bus. A bus that exceeds
+// the cap is marked Exceeded and treated as unconstrained downstream,
+// which is always sound.
+const MaxDomainWords = 1024
+
+// BusDomain is the recorded value set of one architectural bus: every
+// three-valued word (X bits allowed via the Mask) the bus was observed to
+// hold in a settled cycle. Because the analysis over-approximates
+// reachable states, the union of these cubes over-approximates the bus's
+// reachable values — any property proved under "bus matches some cube"
+// holds in every real execution.
+type BusDomain struct {
+	// Name identifies the bus ("r0".."r15", "state", "ir", "ie", "ifg").
+	Name string
+	// Bits are the flip-flop nets of the bus, LSB first.
+	Bits []netlist.GateID
+	// Words are the observed cubes (deduplicated, insertion order).
+	Words []logic.Word
+	// Exceeded reports that recording hit MaxDomainWords and stopped;
+	// the set is incomplete and must be treated as unconstrained.
+	Exceeded bool
 }
 
 // LimitError is the analysis watchdog's verdict: the exploration was
@@ -98,6 +129,9 @@ type Result struct {
 	Merges int
 	// Cycles is the total number of simulated cycles.
 	Cycles uint64
+	// BusDomains holds the per-bus reachable value sets when
+	// Options.RecordDomains was set; nil otherwise.
+	BusDomains []BusDomain
 }
 
 // UntoggledCount returns the number of real cells that can never toggle.
@@ -185,6 +219,43 @@ type analyzer struct {
 	// snapshots are recycled — world bases are shared between forked
 	// worlds and stay garbage-collected.
 	free []*snapshot
+
+	// domains accumulates bus value sets when opts.RecordDomains is set.
+	domains []*domainAcc
+}
+
+// domainAcc collects one bus's observed cubes with O(1) dedup.
+type domainAcc struct {
+	name     string
+	bits     []netlist.GateID
+	words    []logic.Word
+	seen     map[uint32]struct{}
+	exceeded bool
+}
+
+func (d *domainAcc) record(w logic.Word) {
+	if d.exceeded {
+		return
+	}
+	key := uint32(w.Val) | uint32(w.Mask)<<16
+	if _, ok := d.seen[key]; ok {
+		return
+	}
+	if len(d.words) >= MaxDomainWords {
+		d.exceeded = true
+		d.words = nil
+		d.seen = nil
+		return
+	}
+	d.seen[key] = struct{}{}
+	d.words = append(d.words, w)
+}
+
+// recordDomains samples every tracked bus in the settled frame.
+func (a *analyzer) recordDomains() {
+	for _, d := range a.domains {
+		d.record(a.s.ReadBus(d.bits))
+	}
 }
 
 // Analyze runs input-independent gate activity analysis of prog on a
@@ -230,6 +301,11 @@ func AnalyzeOn(ctx context.Context, core *cpu.Core, opts Options) (*Result, erro
 			res.ConstVal[i] = v
 		}
 	}
+	for _, d := range a.domains {
+		res.BusDomains = append(res.BusDomains, BusDomain{
+			Name: d.name, Bits: d.bits, Words: d.words, Exceeded: d.exceeded,
+		})
+	}
 	return res, nil
 }
 
@@ -253,6 +329,22 @@ func newAnalyzer(ctx context.Context, core *cpu.Core, opts Options) (*analyzer, 
 		s:     s,
 		opts:  opts,
 		sites: map[uint32]*site{},
+	}
+	if opts.RecordDomains {
+		add := func(name string, bits []netlist.GateID) {
+			a.domains = append(a.domains, &domainAcc{
+				name: name,
+				bits: append([]netlist.GateID(nil), bits...),
+				seen: map[uint32]struct{}{},
+			})
+		}
+		for i := range core.Regs {
+			add(fmt.Sprintf("r%d", i), core.Regs[i])
+		}
+		add("state", core.State)
+		add("ir", core.IRReg)
+		add("ie", core.IEReg)
+		add("ifg", core.IFReg)
 	}
 	for _, bit := range core.PC() {
 		// On a bespoke (cut) core some PC bits are constants (bit 0 is
@@ -349,6 +441,9 @@ func (a *analyzer) runWorld(w world) error {
 			}
 		}
 		a.cycles++
+		if len(a.domains) > 0 {
+			a.recordDomains()
+		}
 		if !skipSite {
 			done, forked, err := a.atDecision()
 			if err != nil {
@@ -372,6 +467,9 @@ func (a *analyzer) runWorld(w world) error {
 		if pcNext := a.s.ReadBus(a.pcD); !pcNext.Known() {
 			const maxUnknownBits = 4
 			if nx := popcount(pcNext.Mask); nx <= maxUnknownBits {
+				if len(a.domains) > 0 {
+					a.recordDomains() // widening may have changed the frame
+				}
 				a.s.Edge()
 				a.s.Settle()
 				base := a.capture()
@@ -391,6 +489,9 @@ func (a *analyzer) runWorld(w world) error {
 			}
 			return fmt.Errorf("symexec: unknown value reached the PC (pc=%v state=%v ir=%v next=%v): indirect control flow on input-dependent data",
 				a.s.ReadBus(a.core.PC()), a.s.ReadBus(a.core.State), a.s.ReadBus(a.core.IRReg), pcNext)
+		}
+		if len(a.domains) > 0 {
+			a.recordDomains() // widening may have changed the frame
 		}
 		a.s.Edge()
 		a.s.Settle()
