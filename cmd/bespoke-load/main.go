@@ -1,0 +1,271 @@
+// Command bespoke-load replays the benchmark catalog against a running
+// bespoke-serve instance and reports latency percentiles and cache
+// behavior: how many requests were served cold, coalesced onto another
+// request's flow, or hit the memory/disk cache layers.
+//
+// Usage:
+//
+//	bespoke-load [-addr http://localhost:8372] [-n 1000] [-c 8] [-seeds 4]
+//
+// Requests cycle deterministically through (benchmark, seed) pairs, so a
+// replay with S seeds over B benchmarks has exactly B*S distinct cache
+// keys: the first arrival of each pair is a cold flow (or a disk hit on
+// a warmed cache), everything after is a memory hit or a coalesced join.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bespoke/internal/experiments"
+	"bespoke/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8372", "bespoke-serve base URL")
+	n := flag.Int("n", 1000, "total requests")
+	c := flag.Int("c", 8, "concurrent clients")
+	seeds := flag.Int("seeds", 4, "distinct workload seeds per benchmark")
+	quick := flag.Bool("quick", false, "trimmed 5-benchmark suite instead of the full catalog")
+	timeout := flag.Duration("timeout", 5*time.Minute, "per-request flow budget (sent as timeout_ms)")
+	wait := flag.Duration("wait", 0, "poll /healthz this long for the server to come up before starting")
+	expectSource := flag.String("expect-source", "", "comma-separated sources every response must come from (CI assertion)")
+	flag.Parse()
+	if flag.NArg() != 0 || *n <= 0 || *c <= 0 || *seeds <= 0 {
+		fmt.Fprintln(os.Stderr, "usage: bespoke-load [flags]")
+		os.Exit(2)
+	}
+	if err := run(*addr, *n, *c, *seeds, *quick, *timeout, *wait, *expectSource); err != nil {
+		fmt.Fprintln(os.Stderr, "bespoke-load:", err)
+		os.Exit(1)
+	}
+}
+
+// shot is one prepared request body.
+type shot struct {
+	name string
+	seed uint64
+	body []byte
+}
+
+// result is one served request's outcome.
+type result struct {
+	ms      float64
+	source  string
+	retries int
+}
+
+func run(addr string, n, c, seeds int, quick bool, timeout, wait time.Duration, expectSource string) error {
+	if wait > 0 {
+		if err := waitHealthy(addr, wait); err != nil {
+			return err
+		}
+	}
+	shots, err := buildShots(quick, seeds, timeout)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replaying %d requests over %d (benchmark, seed) pairs at concurrency %d against %s\n",
+		n, len(shots), c, addr)
+
+	var (
+		next    atomic.Int64
+		mu      sync.Mutex
+		results []result
+		errs    []string
+		wg      sync.WaitGroup
+	)
+	client := &http.Client{Timeout: timeout + 30*time.Second}
+	t0 := time.Now()
+	for w := 0; w < c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				res, err := fire(client, addr, shots[i%len(shots)])
+				mu.Lock()
+				if err != nil {
+					errs = append(errs, err.Error())
+				} else {
+					results = append(results, res)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	report(results, errs, n, c, elapsed)
+	if len(errs) > 0 {
+		return fmt.Errorf("%d/%d requests failed (first: %s)", len(errs), n, errs[0])
+	}
+	if expectSource != "" {
+		return checkSources(results, expectSource)
+	}
+	return nil
+}
+
+// buildShots prepares one request body per (benchmark, seed) pair.
+func buildShots(quick bool, seeds int, timeout time.Duration) ([]*shot, error) {
+	var shots []*shot
+	for _, b := range experiments.Suite(quick) {
+		for s := 0; s < seeds; s++ {
+			req := &serve.Request{
+				Source:    b.Source,
+				Workload:  serve.WireWorkload(b.Workload(uint64(s))),
+				TimeoutMs: timeout.Milliseconds(),
+			}
+			body, err := json.Marshal(req)
+			if err != nil {
+				return nil, fmt.Errorf("%s seed %d: %w", b.Name, s, err)
+			}
+			shots = append(shots, &shot{name: b.Name, seed: uint64(s), body: body})
+		}
+	}
+	return shots, nil
+}
+
+// fire posts one request, retrying 429s after the server's Retry-After
+// estimate (capped so an overload cannot stall a client forever).
+func fire(client *http.Client, addr string, sh *shot) (result, error) {
+	const maxRetries = 20
+	for attempt := 0; ; attempt++ {
+		t0 := time.Now()
+		resp, err := client.Post(addr+"/v1/tailor", "application/json", bytes.NewReader(sh.body))
+		if err != nil {
+			return result{}, fmt.Errorf("%s/%d: %w", sh.name, sh.seed, err)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return result{}, fmt.Errorf("%s/%d: reading body: %w", sh.name, sh.seed, err)
+		}
+		if resp.StatusCode == http.StatusTooManyRequests && attempt < maxRetries {
+			time.Sleep(retryDelay(raw))
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			return result{}, fmt.Errorf("%s/%d: HTTP %d: %s", sh.name, sh.seed, resp.StatusCode, summarize(raw))
+		}
+		var body serve.Response
+		if err := json.Unmarshal(raw, &body); err != nil {
+			return result{}, fmt.Errorf("%s/%d: decoding response: %w", sh.name, sh.seed, err)
+		}
+		return result{
+			ms:      float64(time.Since(t0).Nanoseconds()) / 1e6,
+			source:  body.Source,
+			retries: attempt,
+		}, nil
+	}
+}
+
+func retryDelay(raw []byte) time.Duration {
+	var body serve.ErrorBody
+	if json.Unmarshal(raw, &body) == nil && body.Error.RetryAfterMs > 0 {
+		d := time.Duration(body.Error.RetryAfterMs) * time.Millisecond
+		if d > 10*time.Second {
+			d = 10 * time.Second
+		}
+		return d
+	}
+	return time.Second
+}
+
+func summarize(raw []byte) string {
+	var body serve.ErrorBody
+	if json.Unmarshal(raw, &body) == nil && body.Error.Message != "" {
+		return body.Error.Kind + ": " + body.Error.Message
+	}
+	s := string(raw)
+	if len(s) > 200 {
+		s = s[:200] + "..."
+	}
+	return s
+}
+
+func report(results []result, errs []string, n, c int, elapsed time.Duration) {
+	lat := make([]float64, 0, len(results))
+	bySource := map[string]int{}
+	retries := 0
+	for _, r := range results {
+		lat = append(lat, r.ms)
+		bySource[r.source]++
+		retries += r.retries
+	}
+	sort.Float64s(lat)
+	fmt.Printf("done in %.1fs: %d ok, %d failed, %.1f req/s\n",
+		elapsed.Seconds(), len(results), len(errs), float64(len(results))/elapsed.Seconds())
+	if len(lat) > 0 {
+		fmt.Printf("latency ms: p50=%.1f p90=%.1f p99=%.1f max=%.1f\n",
+			pct(lat, 50), pct(lat, 90), pct(lat, 99), lat[len(lat)-1])
+	}
+	fmt.Printf("sources: cold=%d coalesced=%d memory=%d disk=%d (429 retries: %d)\n",
+		bySource["cold"], bySource["coalesced"], bySource["memory"], bySource["disk"], retries)
+	if len(lat) > 0 {
+		fmt.Printf("markdown: | %d | %d | %.1f | %.1f | %d | %d | %d | %d |\n",
+			n, c, pct(lat, 50), pct(lat, 99),
+			bySource["cold"], bySource["coalesced"], bySource["memory"], bySource["disk"])
+	}
+}
+
+// pct reads the p-th percentile from sorted samples (nearest-rank).
+func pct(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p/100*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func checkSources(results []result, allowed string) error {
+	ok := map[string]bool{}
+	for _, s := range strings.Split(allowed, ",") {
+		ok[strings.TrimSpace(s)] = true
+	}
+	for _, r := range results {
+		if !ok[r.source] {
+			return fmt.Errorf("response served from %q, want one of %s", r.source, allowed)
+		}
+	}
+	fmt.Printf("all %d responses served from {%s}\n", len(results), allowed)
+	return nil
+}
+
+func waitHealthy(addr string, wait time.Duration) error {
+	deadline := time.Now().Add(wait)
+	client := &http.Client{Timeout: 2 * time.Second}
+	for {
+		resp, err := client.Get(addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not healthy after %s", addr, wait)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}

@@ -1,0 +1,108 @@
+// Command bespoke-serve runs the tailoring service: an HTTP/JSON API
+// over the flow with request coalescing, a bounded cold-tailor worker
+// pool, and a two-level (memory + versioned on-disk) result cache.
+//
+// Usage:
+//
+//	bespoke-serve [-addr :8372] [-cache-dir DIR] [-workers N] ...
+//
+// See internal/serve for the endpoint and wire-format documentation.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bespoke/internal/core"
+	"bespoke/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8372", "listen address")
+	cacheDir := flag.String("cache-dir", "", "on-disk cache directory (empty = memory-only)")
+	workers := flag.Int("workers", 0, "cold-tailor pool width (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "admission cap on cold tailors queued+running (0 = 4x workers)")
+	defaultTimeout := flag.Duration("default-timeout", 2*time.Minute, "flow budget when the request sets no timeout_ms")
+	maxTimeout := flag.Duration("max-timeout", 10*time.Minute, "clamp on requested timeouts")
+	maxEntries := flag.Int("max-entries", 0, "in-memory cache entry cap (0 = default)")
+	maxBytes := flag.Int64("max-bytes", 0, "in-memory cache byte cap (0 = default)")
+	quiet := flag.Bool("quiet", false, "suppress per-request log lines")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: bespoke-serve [flags]")
+		os.Exit(2)
+	}
+	if err := run(*addr, *cacheDir, *workers, *queue, *defaultTimeout, *maxTimeout, *maxEntries, *maxBytes, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "bespoke-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, cacheDir string, workers, queue int, defaultTimeout, maxTimeout time.Duration, maxEntries int, maxBytes int64, quiet bool) error {
+	logger := log.New(os.Stderr, "bespoke-serve: ", log.LstdFlags)
+
+	cacheCfg := core.CacheConfig{MaxEntries: maxEntries, MaxBytes: maxBytes}
+	if cacheDir != "" {
+		disk, err := core.NewDiskTailorCache(cacheDir)
+		if err != nil {
+			return fmt.Errorf("opening cache dir: %w", err)
+		}
+		cacheCfg.Disk = disk
+		if entries, err := disk.Len(); err == nil {
+			logger.Printf("disk cache at %s (%d entries)", cacheDir, entries)
+		}
+	}
+
+	cfg := serve.Config{
+		Cache:          core.NewTailorCacheWith(cacheCfg),
+		Workers:        workers,
+		QueueDepth:     queue,
+		DefaultTimeout: defaultTimeout,
+		MaxTimeout:     maxTimeout,
+	}
+	if !quiet {
+		cfg.Logf = logger.Printf
+	}
+	srv := serve.New(cfg)
+
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s (workers=%d queue=%d)", addr, cfg.Workers, cfg.QueueDepth)
+		errc <- httpSrv.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Printf("shutting down")
+	shCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	st := srv.Stats()
+	logger.Printf("served %d requests (%d cold, %d coalesced, %d memory, %d disk)",
+		st.Requests, st.Cold, st.Coalesced, st.Memory, st.Disk)
+	return nil
+}

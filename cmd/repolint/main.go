@@ -64,6 +64,7 @@ var ctxPackages = map[string]bool{
 	"internal/faultinject": true,
 	"internal/sat":         true,
 	"internal/equiv":       true,
+	"internal/serve":       true,
 }
 
 // run lints the tree under root and returns the issues sorted by file
@@ -190,7 +191,7 @@ func lintFile(fset *token.FileSet, f *ast.File, rel string, ctxPkg bool, ctxFunc
 // take a context.
 func exemptName(name string) bool {
 	switch name {
-	case "Error", "String", "Unwrap":
+	case "Error", "String", "Unwrap", "ServeHTTP":
 		return true
 	}
 	return false

@@ -63,8 +63,8 @@ func TestTailorCacheHitFasterAndEquivalent(t *testing.T) {
 			hitDur = d
 		}
 	}
-	if h, m := tc.Stats(); h != 3 || m != 1 {
-		t.Fatalf("cache stats = %d hits, %d misses; want 3, 1", h, m)
+	if st := tc.Stats(); st.Hits != 3 || st.Misses != 1 {
+		t.Fatalf("cache stats = %d hits, %d misses; want 3, 1", st.Hits, st.Misses)
 	}
 	t.Logf("cold %v, hit %v (%.0fx)", coldDur, hitDur, float64(coldDur)/float64(hitDur))
 	if hitDur*10 > coldDur {
@@ -111,7 +111,11 @@ func TestTailorCacheKeySensitivity(t *testing.T) {
 	if _, err := tc.Tailor(context.Background(), p, cachedAddWorkload(), core.Options{ClockPs: 20_000}); err != nil {
 		t.Fatal(err)
 	}
-	if h, m := tc.Stats(); h != 0 || m != 3 {
-		t.Fatalf("cache stats = %d hits, %d misses; want 0, 3", h, m)
+	if st := tc.Stats(); st.Hits != 0 || st.Misses != 3 {
+		t.Fatalf("cache stats = %d hits, %d misses; want 0, 3", st.Hits, st.Misses)
+	}
+	if st := tc.Stats(); st.Entries != 3 || st.Bytes <= 0 || st.Evictions != 0 {
+		t.Fatalf("cache occupancy = %d entries, %d bytes, %d evictions; want 3, >0, 0",
+			st.Entries, st.Bytes, st.Evictions)
 	}
 }

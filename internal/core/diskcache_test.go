@@ -1,0 +1,327 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bespoke/internal/asm"
+	"bespoke/internal/netlist"
+)
+
+// diskAdd is the standard tiny workload program used by the cache tests
+// (sum eight RAM words and write the total to OUTPORT).
+const diskAdd = `
+        .org 0xF000
+start:  mov #0x5A80, &WDTCTL
+        mov #STACKTOP, sp
+        mov #0x900, r4
+        clr r5
+        mov #8, r6
+loop:   add @r4+, r5
+        dec r6
+        jne loop
+        mov r5, &OUTPORT
+halt:   dint
+        jmp $
+        .org 0xFFFE
+        .word start
+`
+
+func diskAddWorkload(first uint16) *Workload {
+	ram := map[uint16]uint16{0x900: first}
+	for i := 1; i < 8; i++ {
+		ram[0x900+uint16(2*i)] = uint16(i + 1)
+	}
+	return &Workload{RAM: ram}
+}
+
+// coldEntry runs one real cold flow through a disk-backed cache and
+// returns the produced entry file's bytes (the shared fixture for the
+// codec tests below).
+func coldEntry(t *testing.T) []byte {
+	t.Helper()
+	dir := t.TempDir()
+	disk, err := NewDiskTailorCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := NewTailorCacheWith(CacheConfig{Disk: disk})
+	p := asm.MustAssemble(diskAdd)
+	if _, err := tc.Tailor(context.Background(), p, diskAddWorkload(1), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	des, err := os.ReadDir(dir)
+	if err != nil || len(des) != 1 {
+		t.Fatalf("want exactly 1 entry file, got %d (err %v)", len(des), err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, des[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestDiskEntryRoundTrip(t *testing.T) {
+	data := coldEntry(t)
+	ent, err := decodeDiskEntry(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ent.bespokeBin) == 0 {
+		t.Fatal("decoded entry has empty netlist encoding")
+	}
+	if _, err := netlist.Decode(ent.bespokeBin); err != nil {
+		t.Fatalf("embedded netlist does not decode: %v", err)
+	}
+	if ent.result.BespokeCore != nil || ent.result.BaselineCore != nil {
+		t.Fatal("decoded entry resurrected live cores")
+	}
+	if ent.result.Bespoke.Gates <= 0 || ent.result.GateSavings <= 0 {
+		t.Fatalf("metadata did not survive: %+v", ent.result.Bespoke)
+	}
+	// Re-encoding the decoded entry must itself decode (fixed point).
+	again, err := encodeDiskEntry(ent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decodeDiskEntry(again); err != nil {
+		t.Fatalf("re-encoded entry does not decode: %v", err)
+	}
+}
+
+func TestDiskEntryDecodeErrors(t *testing.T) {
+	data := coldEntry(t)
+	cases := []struct {
+		name string
+		mut  func([]byte) []byte
+		want string
+	}{
+		{"empty", func(b []byte) []byte { return nil }, "bad magic"},
+		{"version-skew", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[3] = '9' // BTC1 -> BTC9
+			return c
+		}, "bad magic"},
+		{"truncated-header", func(b []byte) []byte { return b[:3] }, "bad magic"},
+		{"truncated-body", func(b []byte) []byte { return b[:len(b)/2] }, "checksum"},
+		{"flipped-byte", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(c)/2] ^= 0x40
+			return c
+		}, "checksum"},
+		{"trailing-garbage", func(b []byte) []byte { return append(append([]byte(nil), b...), 0xEE) }, "checksum"},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := decodeDiskEntry(tt.mut(data))
+			if err == nil {
+				t.Fatal("corrupt entry decoded without error")
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Fatalf("error %q does not mention %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestDiskCacheWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	p := asm.MustAssemble(diskAdd)
+	w := diskAddWorkload(1)
+
+	disk1, err := NewDiskTailorCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc1 := NewTailorCacheWith(CacheConfig{Disk: disk1})
+	cold, err := tc1.Tailor(context.Background(), p, w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := tc1.Stats(); st.DiskWrites != 1 || st.DiskErrors != 0 {
+		t.Fatalf("writer stats = %+v; want 1 disk write", st)
+	}
+
+	// A brand-new cache on the same directory models a server restart:
+	// the first request must come back from disk without a flow run.
+	disk2, err := NewDiskTailorCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc2 := NewTailorCacheWith(CacheConfig{Disk: disk2})
+	res, src, err := tc2.TailorTraced(context.Background(), []*asm.Program{p}, []*Workload{w}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != SourceDisk {
+		t.Fatalf("warm restart served from %v, want %v", src, SourceDisk)
+	}
+	st := tc2.Stats()
+	if st.DiskHits != 1 || st.Entries != 1 {
+		t.Fatalf("restart stats = %+v; want 1 disk hit promoted to memory", st)
+	}
+	if netlist.Hash(res.BespokeCore.N) != netlist.Hash(cold.BespokeCore.N) {
+		t.Fatal("disk-rehydrated bespoke netlist differs from cold result")
+	}
+	if res.Bespoke.Gates != cold.Bespoke.Gates || res.GateSavings != cold.GateSavings {
+		t.Fatalf("disk-rehydrated metrics drifted: %+v vs %+v", res.Bespoke, cold.Bespoke)
+	}
+	// The rehydrated core is live.
+	tr, err := RunWorkload(context.Background(), res.BespokeCore, p, diskAddWorkload(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Out) != 1 || tr.Out[0] != 36 {
+		t.Fatalf("disk-rehydrated out = %v, want [36]", tr.Out)
+	}
+	// And the next identical request is a plain memory hit.
+	if _, src, err := tc2.TailorTraced(context.Background(), []*asm.Program{p}, []*Workload{w}, Options{}); err != nil || src != SourceMemory {
+		t.Fatalf("second request src=%v err=%v, want memory hit", src, err)
+	}
+}
+
+func TestDiskCacheCorruptEntryIsAMissAndRemoved(t *testing.T) {
+	dir := t.TempDir()
+	p := asm.MustAssemble(diskAdd)
+	w := diskAddWorkload(2)
+
+	disk, err := NewDiskTailorCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := NewTailorCacheWith(CacheConfig{Disk: disk})
+	key, err := tc.Key([]*asm.Program{p}, []*Workload{w}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plant a version-skewed entry under the exact key.
+	if err := os.WriteFile(filepath.Join(dir, key.String()+diskEntrySuffix),
+		[]byte("BTC9 not a real entry"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	res, src, err := tc.TailorTraced(context.Background(), []*asm.Program{p}, []*Workload{w}, Options{})
+	if err != nil {
+		t.Fatalf("corrupt disk entry failed the request: %v", err)
+	}
+	if src != SourceCold || res == nil {
+		t.Fatalf("src = %v, want cold fallback", src)
+	}
+	st := tc.Stats()
+	if st.DiskErrors != 1 {
+		t.Fatalf("stats = %+v; want 1 disk error", st)
+	}
+	// The poisoned file is gone and replaced by the fresh write-through.
+	data, err := os.ReadFile(filepath.Join(dir, key.String()+diskEntrySuffix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(data, []byte(diskMagic)) {
+		t.Fatal("poisoned entry was not replaced by a valid one")
+	}
+	if _, err := decodeDiskEntry(data); err != nil {
+		t.Fatalf("rewritten entry does not decode: %v", err)
+	}
+}
+
+func TestTailorCacheLRUEviction(t *testing.T) {
+	tc := NewTailorCacheWith(CacheConfig{MaxEntries: 2})
+	p := asm.MustAssemble(diskAdd)
+	ctx := context.Background()
+	for i := uint16(1); i <= 3; i++ {
+		if _, err := tc.Tailor(ctx, p, diskAddWorkload(i), Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := tc.Stats()
+	if st.Entries != 2 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v; want 2 entries, 1 eviction", st)
+	}
+	// The oldest key (first=1) was evicted; the newer two still hit.
+	for i := uint16(2); i <= 3; i++ {
+		if _, src, ok, err := tc.Probe(ctx, []*asm.Program{p}, []*Workload{diskAddWorkload(i)}, Options{}); err != nil || !ok || src != SourceMemory {
+			t.Fatalf("key %d: ok=%v src=%v err=%v, want memory hit", i, ok, src, err)
+		}
+	}
+	if _, _, ok, err := tc.Probe(ctx, []*asm.Program{p}, []*Workload{diskAddWorkload(1)}, Options{}); err != nil || ok {
+		t.Fatalf("evicted key still hits (ok=%v err=%v)", ok, err)
+	}
+	// Probe misses are not counted against Misses (only flow runs are).
+	if st := tc.Stats(); st.Misses != 3 {
+		t.Fatalf("misses = %d, want 3 (one per cold flow)", st.Misses)
+	}
+}
+
+func TestTailorCacheMaxBytesKeepsNewest(t *testing.T) {
+	// A 1-byte budget can never hold an entry, but the newest insert is
+	// exempt, so the cache degrades to size 1 instead of thrashing to 0.
+	tc := NewTailorCacheWith(CacheConfig{MaxBytes: 1})
+	p := asm.MustAssemble(diskAdd)
+	ctx := context.Background()
+	for i := uint16(1); i <= 2; i++ {
+		if _, err := tc.Tailor(ctx, p, diskAddWorkload(i), Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := tc.Stats()
+	if st.Entries != 1 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v; want 1 entry, 1 eviction", st)
+	}
+	if _, src, ok, err := tc.Probe(ctx, []*asm.Program{p}, []*Workload{diskAddWorkload(2)}, Options{}); err != nil || !ok || src != SourceMemory {
+		t.Fatalf("newest key: ok=%v src=%v err=%v, want memory hit", ok, src, err)
+	}
+}
+
+func FuzzDiskEntryDecode(f *testing.F) {
+	// Seed corpus: a real entry, its truncations, a version skew, a
+	// corrupted byte, and raw junk — mirroring FuzzDecode in
+	// internal/netlist. The property is "never panic, and anything that
+	// decodes re-encodes to something that decodes again".
+	dir := f.TempDir()
+	disk, err := NewDiskTailorCache(dir)
+	if err != nil {
+		f.Fatal(err)
+	}
+	tc := NewTailorCacheWith(CacheConfig{Disk: disk})
+	p := asm.MustAssemble(diskAdd)
+	if _, err := tc.Tailor(context.Background(), p, diskAddWorkload(1), Options{}); err != nil {
+		f.Fatal(err)
+	}
+	des, err := os.ReadDir(dir)
+	if err != nil || len(des) != 1 {
+		f.Fatalf("want 1 entry file, got %d (err %v)", len(des), err)
+	}
+	valid, err := os.ReadFile(filepath.Join(dir, des[0].Name()))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:len(diskMagic)+1])
+	skew := append([]byte(nil), valid...)
+	skew[3] = '2'
+	f.Add(skew)
+	flip := append([]byte(nil), valid...)
+	flip[len(flip)/3] ^= 0xFF
+	f.Add(flip)
+	f.Add([]byte("BTC1"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ent, err := decodeDiskEntry(data)
+		if err != nil {
+			return
+		}
+		again, err := encodeDiskEntry(ent)
+		if err != nil {
+			t.Fatalf("decoded entry does not re-encode: %v", err)
+		}
+		if _, err := decodeDiskEntry(again); err != nil {
+			t.Fatalf("re-encoded entry does not decode: %v", err)
+		}
+	})
+}

@@ -108,11 +108,12 @@ func TestCacheRehydrationLints(t *testing.T) {
 	// Corrupt the stored encoding in place: decode, break the netlist
 	// structurally, re-encode. The bytes remain a valid codec payload.
 	tc.mu.Lock()
-	if len(tc.entries) != 1 {
+	if len(tc.byKey) != 1 {
 		tc.mu.Unlock()
-		t.Fatalf("expected one cache entry, have %d", len(tc.entries))
+		t.Fatalf("expected one cache entry, have %d", len(tc.byKey))
 	}
-	for _, ent := range tc.entries {
+	for _, el := range tc.byKey {
+		ent := el.Value.(*cacheEntry)
 		n, err := netlist.Decode(ent.bespokeBin)
 		if err != nil {
 			tc.mu.Unlock()

@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"bespoke/internal/core"
+	"bespoke/internal/equiv"
+	"bespoke/internal/netlist"
+	"bespoke/internal/symexec"
+)
+
+// StatusClientClosedRequest is the non-standard (nginx-convention)
+// status recorded when the client went away before the response: the
+// body is undeliverable, but the status keeps logs and stats honest.
+const StatusClientClosedRequest = 499
+
+// errQueueFull rejects a cold tailor when the admission controller's
+// queue-depth cap is reached.
+var errQueueFull = errors.New("serve: cold-tailor queue is full")
+
+// classify maps a tailor-path error onto an HTTP status and structured
+// error detail. reqCtx is the client request's context, used to tell a
+// client disconnect from a server-imposed deadline.
+func classify(err error, reqCtx context.Context) (int, ErrorDetail) {
+	d := ErrorDetail{Gate: int(netlist.None), Message: err.Error()}
+	var fe *core.FlowError
+	if errors.As(err, &fe) {
+		d.Stage = fe.Stage
+		d.Gate = int(fe.Gate)
+	}
+	switch {
+	case errors.Is(err, errQueueFull):
+		d.Kind = "queue-full"
+		d.Status = http.StatusTooManyRequests
+		return d.Status, d
+	case errors.Is(err, context.Canceled) && reqCtx.Err() != nil:
+		// The request context died: the client disconnected (or the
+		// server is shutting down). Nobody is left to read the body.
+		d.Kind = "client-gone"
+		d.Status = StatusClientClosedRequest
+		return d.Status, d
+	case errors.Is(err, context.DeadlineExceeded):
+		d.Kind = "deadline"
+		d.Status = http.StatusGatewayTimeout
+		return d.Status, d
+	}
+
+	var le *core.LintError
+	var se *symexec.LimitError
+	var pe *equiv.ProofError
+	switch {
+	case errors.As(err, &le):
+		d.Kind = "lint"
+		d.Status = http.StatusUnprocessableEntity
+		for _, f := range le.Findings {
+			d.Lint = append(d.Lint, LintFinding{
+				Analyzer: f.Analyzer,
+				Gate:     int(f.Gate),
+				Detail:   f.String(),
+			})
+		}
+	case errors.As(err, &pe):
+		d.Kind = "proof"
+		d.Status = http.StatusUnprocessableEntity
+		d.Proof = &ProofDetail{
+			Gate:    int(pe.Gate),
+			Name:    pe.Name,
+			Claimed: pe.Claimed.String(),
+			Refuted: pe.Refuted,
+		}
+	case errors.As(err, &se):
+		d.Kind = "limit"
+		d.Status = http.StatusUnprocessableEntity
+		d.Limit = &LimitDetail{
+			Reason:    se.Reason,
+			MaxCycles: se.MaxCycles,
+			Cycles:    se.Cycles,
+			Paths:     se.Paths,
+			Sites:     se.Sites,
+			Merges:    se.Merges,
+			Pending:   se.Pending,
+		}
+	case fe != nil:
+		d.Kind = "flow"
+		d.Status = http.StatusInternalServerError
+	default:
+		d.Kind = "internal"
+		d.Status = http.StatusInternalServerError
+	}
+	return d.Status, d
+}
+
+// badRequest builds the 400 detail.
+func badRequest(format string, args ...any) ErrorDetail {
+	return ErrorDetail{
+		Status:  http.StatusBadRequest,
+		Kind:    "bad-request",
+		Gate:    int(netlist.None),
+		Message: fmt.Sprintf(format, args...),
+	}
+}

@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"context"
+	"sync"
+
+	"bespoke/internal/core"
+)
+
+// flightGroup coalesces concurrent cold tailors by cache key: the first
+// caller for a key becomes the leader and runs the flow; every
+// identical request arriving while it runs joins the flight and shares
+// the one result. This is singleflight with one extension the serving
+// path needs: the flow runs under a context owned by the *flight*, not
+// the leader, refcounted over the joined callers — it is cancelled only
+// when every caller has walked away, so one impatient client cannot
+// abort work other clients are still waiting on, and a flight nobody
+// wants anymore stops burning a worker at the flow's next cancellation
+// check.
+type flightGroup struct {
+	mu      sync.Mutex
+	flights map[core.Key]*flight
+}
+
+type flight struct {
+	// done is closed after res/err are set and the flight is unmapped.
+	done chan struct{}
+	res  *core.Result
+	err  error
+	// live is the number of callers still waiting; guarded by the
+	// group's mu. When it drops to zero before completion, cancel fires.
+	live   int
+	cancel context.CancelFunc
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{flights: map[core.Key]*flight{}}
+}
+
+// do returns the result of run for key, coalescing concurrent callers.
+// joined reports whether this caller shared another caller's run (false
+// for the leader). run receives the flight's context: it inherits the
+// leader's deadline but not its cancellation, and is cancelled when all
+// coalesced callers (leader included) have given up.
+//
+// When the caller's own ctx ends first, do returns ctx.Err() without
+// waiting; the flight keeps running for the remaining callers.
+func (g *flightGroup) do(ctx context.Context, key core.Key, run func(context.Context) (*core.Result, error)) (res *core.Result, joined bool, err error) {
+	g.mu.Lock()
+	if f, ok := g.flights[key]; ok {
+		f.live++
+		g.mu.Unlock()
+		return f.wait(ctx, g, true)
+	}
+	// Leader: the flight context survives this caller's disconnect (the
+	// result is useful to joiners and to the cache) but honors the
+	// deadline the leader's request negotiated. The deadline context is
+	// released by the completion goroutine, never by the leader's own
+	// return — joiners may outlive the leader.
+	base := context.WithoutCancel(ctx)
+	cancelDl := context.CancelFunc(func() {})
+	if dl, ok := ctx.Deadline(); ok {
+		base, cancelDl = context.WithDeadline(base, dl)
+	}
+	fctx, cancel := context.WithCancel(base)
+	f := &flight{done: make(chan struct{}), live: 1, cancel: cancel}
+	g.flights[key] = f
+	g.mu.Unlock()
+
+	go func() {
+		res, err := run(fctx)
+		g.mu.Lock()
+		f.res, f.err = res, err
+		delete(g.flights, key)
+		g.mu.Unlock()
+		close(f.done)
+		cancel()
+		cancelDl()
+	}()
+	return f.wait(ctx, g, false)
+}
+
+// wait blocks until the flight completes or the caller's context ends,
+// whichever comes first, and maintains the live refcount.
+func (f *flight) wait(ctx context.Context, g *flightGroup, joined bool) (*core.Result, bool, error) {
+	select {
+	case <-f.done:
+		return f.res, joined, f.err
+	case <-ctx.Done():
+		g.mu.Lock()
+		f.live--
+		abandon := f.live == 0
+		g.mu.Unlock()
+		if abandon {
+			// Last caller out: stop the flow at its next ctx check.
+			f.cancel()
+		}
+		return nil, joined, ctx.Err()
+	}
+}
