@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
@@ -39,13 +40,14 @@ func main() {
 	quick := flag.Bool("quick", false, "trimmed 5-benchmark suite instead of the full catalog")
 	timeout := flag.Duration("timeout", 5*time.Minute, "per-request flow budget (sent as timeout_ms)")
 	wait := flag.Duration("wait", 0, "poll /healthz this long for the server to come up before starting")
+	maxRetries := flag.Int("max-retries", 20, "429 retries per request before giving up")
 	expectSource := flag.String("expect-source", "", "comma-separated sources every response must come from (CI assertion)")
 	flag.Parse()
-	if flag.NArg() != 0 || *n <= 0 || *c <= 0 || *seeds <= 0 {
+	if flag.NArg() != 0 || *n <= 0 || *c <= 0 || *seeds <= 0 || *maxRetries < 0 {
 		fmt.Fprintln(os.Stderr, "usage: bespoke-load [flags]")
 		os.Exit(2)
 	}
-	if err := run(*addr, *n, *c, *seeds, *quick, *timeout, *wait, *expectSource); err != nil {
+	if err := run(*addr, *n, *c, *seeds, *quick, *timeout, *wait, *maxRetries, *expectSource); err != nil {
 		fmt.Fprintln(os.Stderr, "bespoke-load:", err)
 		os.Exit(1)
 	}
@@ -63,9 +65,11 @@ type result struct {
 	ms      float64
 	source  string
 	retries int
+	// backoff is the total time this request slept between 429 retries.
+	backoff time.Duration
 }
 
-func run(addr string, n, c, seeds int, quick bool, timeout, wait time.Duration, expectSource string) error {
+func run(addr string, n, c, seeds int, quick bool, timeout, wait time.Duration, maxRetries int, expectSource string) error {
 	if wait > 0 {
 		if err := waitHealthy(addr, wait); err != nil {
 			return err
@@ -96,7 +100,7 @@ func run(addr string, n, c, seeds int, quick bool, timeout, wait time.Duration, 
 				if i >= n {
 					return
 				}
-				res, err := fire(client, addr, shots[i%len(shots)])
+				res, err := fire(client, addr, shots[i%len(shots)], maxRetries)
 				mu.Lock()
 				if err != nil {
 					errs = append(errs, err.Error())
@@ -140,10 +144,10 @@ func buildShots(quick bool, seeds int, timeout time.Duration) ([]*shot, error) {
 	return shots, nil
 }
 
-// fire posts one request, retrying 429s after the server's Retry-After
-// estimate (capped so an overload cannot stall a client forever).
-func fire(client *http.Client, addr string, sh *shot) (result, error) {
-	const maxRetries = 20
+// fire posts one request, retrying 429s with exponential backoff and
+// jitter (capped so an overload cannot stall a client forever).
+func fire(client *http.Client, addr string, sh *shot, maxRetries int) (result, error) {
+	var backoff time.Duration
 	for attempt := 0; ; attempt++ {
 		t0 := time.Now()
 		resp, err := client.Post(addr+"/v1/tailor", "application/json", bytes.NewReader(sh.body))
@@ -156,7 +160,9 @@ func fire(client *http.Client, addr string, sh *shot) (result, error) {
 			return result{}, fmt.Errorf("%s/%d: reading body: %w", sh.name, sh.seed, err)
 		}
 		if resp.StatusCode == http.StatusTooManyRequests && attempt < maxRetries {
-			time.Sleep(retryDelay(raw))
+			d := retryDelay(raw, attempt)
+			backoff += d
+			time.Sleep(d)
 			continue
 		}
 		if resp.StatusCode != http.StatusOK {
@@ -170,20 +176,34 @@ func fire(client *http.Client, addr string, sh *shot) (result, error) {
 			ms:      float64(time.Since(t0).Nanoseconds()) / 1e6,
 			source:  body.Source,
 			retries: attempt,
+			backoff: backoff,
 		}, nil
 	}
 }
 
-func retryDelay(raw []byte) time.Duration {
+// backoffCap bounds any single retry sleep.
+const backoffCap = 10 * time.Second
+
+// retryDelay computes the attempt's backoff: the server's Retry-After
+// estimate (or a 250ms fallback) doubled per prior attempt, capped, and
+// spread with +-25% jitter so a fleet of rejected clients does not
+// stampede back in lockstep.
+func retryDelay(raw []byte, attempt int) time.Duration {
+	base := 250 * time.Millisecond
 	var body serve.ErrorBody
 	if json.Unmarshal(raw, &body) == nil && body.Error.RetryAfterMs > 0 {
-		d := time.Duration(body.Error.RetryAfterMs) * time.Millisecond
-		if d > 10*time.Second {
-			d = 10 * time.Second
-		}
-		return d
+		base = time.Duration(body.Error.RetryAfterMs) * time.Millisecond
 	}
-	return time.Second
+	d := base
+	for i := 0; i < attempt && d < backoffCap; i++ {
+		d *= 2
+	}
+	if d > backoffCap {
+		d = backoffCap
+	}
+	// Jitter in [-25%, +25%) of the deterministic delay.
+	d += time.Duration(rand.Int63n(int64(d)/2+1)) - d/4
+	return d
 }
 
 func summarize(raw []byte) string {
@@ -202,10 +222,12 @@ func report(results []result, errs []string, n, c int, elapsed time.Duration) {
 	lat := make([]float64, 0, len(results))
 	bySource := map[string]int{}
 	retries := 0
+	var backoff time.Duration
 	for _, r := range results {
 		lat = append(lat, r.ms)
 		bySource[r.source]++
 		retries += r.retries
+		backoff += r.backoff
 	}
 	sort.Float64s(lat)
 	fmt.Printf("done in %.1fs: %d ok, %d failed, %.1f req/s\n",
@@ -214,8 +236,9 @@ func report(results []result, errs []string, n, c int, elapsed time.Duration) {
 		fmt.Printf("latency ms: p50=%.1f p90=%.1f p99=%.1f max=%.1f\n",
 			pct(lat, 50), pct(lat, 90), pct(lat, 99), lat[len(lat)-1])
 	}
-	fmt.Printf("sources: cold=%d coalesced=%d memory=%d disk=%d (429 retries: %d)\n",
-		bySource["cold"], bySource["coalesced"], bySource["memory"], bySource["disk"], retries)
+	fmt.Printf("sources: cold=%d coalesced=%d memory=%d disk=%d (429 retries: %d, total backoff %.1fs)\n",
+		bySource["cold"], bySource["coalesced"], bySource["memory"], bySource["disk"],
+		retries, backoff.Seconds())
 	if len(lat) > 0 {
 		fmt.Printf("markdown: | %d | %d | %.1f | %.1f | %d | %d | %d | %d |\n",
 			n, c, pct(lat, 50), pct(lat, 99),

@@ -7,7 +7,8 @@
 //     flow entry point and every unbounded solver call stays
 //     cancellable. A
 //     function counts as long-running when it reaches for
-//     context.Background/context.TODO itself or calls a same-package
+//     context.Background/context.TODO itself or calls — directly or
+//     through a method/selector — something named like a same-package
 //     function that takes a leading context.
 //   - No stray fmt.Print*/print/println debugging in internal/
 //     non-test files; diagnostics belong on error values or in the CLIs.
@@ -208,9 +209,11 @@ func hasLeadingCtx(fd *ast.FuncDecl) bool {
 }
 
 // longRunning reports why fd counts as long-running work: it
-// manufactures its own context, or it calls a same-package function
-// that takes a leading context (necessarily passing it a made-up one).
-// An empty string means it does not.
+// manufactures its own context, or it calls — as a bare identifier or
+// through a method/selector — something named like a same-package
+// function that takes a leading context (necessarily passing it a
+// made-up one, since fd has none to forward). An empty string means it
+// does not.
 func longRunning(fd *ast.FuncDecl, ctxFuncs map[string]bool) string {
 	reason := ""
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
@@ -223,8 +226,11 @@ func longRunning(fd *ast.FuncDecl, ctxFuncs map[string]bool) string {
 		}
 		switch fun := call.Fun.(type) {
 		case *ast.SelectorExpr:
-			if pkgIdent(fun.X) == "context" && (fun.Sel.Name == "Background" || fun.Sel.Name == "TODO") {
+			switch {
+			case pkgIdent(fun.X) == "context" && (fun.Sel.Name == "Background" || fun.Sel.Name == "TODO"):
 				reason = "calls context." + fun.Sel.Name
+			case ctxFuncs[fun.Sel.Name] && fun.Sel.Name != fd.Name.Name:
+				reason = "calls " + fun.Sel.Name + ", which takes a context"
 			}
 		case *ast.Ident:
 			if ctxFuncs[fun.Name] && fun.Name != fd.Name.Name {

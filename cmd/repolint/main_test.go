@@ -162,6 +162,38 @@ func (server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+func TestFlagsMethodAndSelectorWrappers(t *testing.T) {
+	// The ctx rule sees through receivers: an exported wrapper that
+	// drives a ctx-taking method (or a selector call sharing a
+	// same-package ctx function's name) is flagged like a bare call.
+	root := writeTree(t, map[string]string{
+		"internal/faultinject/campaign.go": `package faultinject
+
+import "context"
+
+type engine struct{}
+
+func (engine) run(ctx context.Context) error { return ctx.Err() }
+
+// Campaign hides the campaign's cancellation behind the receiver.
+func Campaign() error {
+	var e engine
+	return e.run(nil)
+}
+
+// Sites is structural bookkeeping and stays unflagged.
+func Sites() int { return 0 }
+`,
+	})
+	issues, err := run(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(issues) != 1 || !strings.Contains(issues[0].Msg, "calls run, which takes a context") {
+		t.Fatalf("got %v, want exactly the Campaign issue", issues)
+	}
+}
+
 func TestRepositoryIsClean(t *testing.T) {
 	issues, err := run("../..")
 	if err != nil {

@@ -69,6 +69,9 @@ type CacheStats struct {
 	// a miss (and best-effort removed), never as a failure of the
 	// request itself.
 	DiskHits, DiskWrites, DiskErrors int
+	// DiskSwept is the number of orphaned temp files (Puts interrupted
+	// by a crash) the disk layer removed when it was opened.
+	DiskSwept int
 }
 
 // CacheConfig bounds a TailorCache and optionally layers it over a
@@ -154,7 +157,7 @@ func NewTailorCacheWith(cfg CacheConfig) *TailorCache {
 		cfg.MaxBytes = defaultMaxBytes
 	}
 	template := cpu.Build()
-	return &TailorCache{
+	tc := &TailorCache{
 		byKey:    map[Key]*list.Element{},
 		lru:      list.New(),
 		maxEnts:  cfg.MaxEntries,
@@ -163,6 +166,10 @@ func NewTailorCacheWith(cfg CacheConfig) *TailorCache {
 		template: template,
 		baseBin:  netlist.Encode(template.N),
 	}
+	if cfg.Disk != nil {
+		tc.stats.DiskSwept = cfg.Disk.Swept()
+	}
+	return tc
 }
 
 // Stats returns a snapshot of the cache counters and occupancy.
@@ -358,7 +365,9 @@ func (tc *TailorCache) Key(progs []*asm.Program, ws []*Workload, opts Options) (
 	u64(uint64(opts.Sym.MergeThreshold))
 	u64(uint64(int64(opts.ClockPs * 1e3)))
 	// The formal gate changes the result (Proofs, and RecordDomains
-	// forced on), so proved and unproved runs must not share an entry.
+	// forced on), so proved and unproved runs must not share an entry;
+	// likewise the resilience gate (Resilience report, and a run that
+	// passed one budget may fail another).
 	flags := uint64(0)
 	if opts.Prove {
 		flags |= 1
@@ -366,8 +375,20 @@ func (tc *TailorCache) Key(progs []*asm.Program, ws []*Workload, opts Options) (
 	if opts.Sym.RecordDomains {
 		flags |= 2
 	}
+	if opts.Resilience != nil {
+		flags |= 4
+	}
 	u64(flags)
 	u64(uint64(opts.ProveOpts.QueryBudget))
+	if ro := opts.Resilience; ro != nil {
+		// Workers is fan-out width only (campaigns are deterministic
+		// regardless), and Run is fixed by convention (TailorGate), so
+		// neither enters the key.
+		u64(uint64(ro.Faults))
+		u64(ro.Seed)
+		u64(ro.MaxCycles)
+		u64(uint64(int64(ro.MaxVisible * 1e6)))
+	}
 
 	u64(uint64(len(ws)))
 	for _, w := range ws {

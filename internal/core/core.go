@@ -81,6 +81,12 @@ type Options struct {
 	Prove bool
 	// ProveOpts tunes the proof engine when Prove is set.
 	ProveOpts equiv.Options
+	// Resilience, when non-nil, enables the resilience signoff stage: a
+	// combinational SET campaign on the baseline and bespoke designs,
+	// gated on the bespoke design's visible-fault budget. A violation
+	// (or an unconfigured runner) aborts the flow with a
+	// *ResilienceError inside the "resilience" stage.
+	Resilience *ResilienceOptions
 }
 
 // Metrics are the signoff numbers for one design point.
@@ -105,6 +111,9 @@ type Result struct {
 	// Proofs holds the per-program formal verification outcomes when
 	// Options.Prove was set (nil otherwise).
 	Proofs []ProofResult
+	// Resilience holds the SET campaign's base-vs-bespoke vulnerability
+	// comparison when Options.Resilience was set (nil otherwise).
+	Resilience *ResilienceReport
 
 	// Headline ratios (fractions, 0..1).
 	GateSavings      float64
@@ -380,6 +389,17 @@ func tailor(ctx context.Context, progs []*asm.Program, ws []*Workload, opts Opti
 		}
 	}
 
+	// Reliability gate: identical SET campaigns on both designs, failed
+	// closed on the bespoke design's visible-fault budget.
+	var resil *ResilienceReport
+	if opts.Resilience != nil {
+		stage = "resilience"
+		resil, err = resilienceGate(ctx, baseline, bespoke, progs[0], wsAt(ws, 0), *opts.Resilience)
+		if err != nil {
+			return nil, stageErr(stage, netlist.None, err)
+		}
+	}
+
 	// Exploit exposed slack: rerun power at Vmin.
 	stage = "vmin"
 	place := layout.Place(bespoke.N, lib)
@@ -393,6 +413,7 @@ func tailor(ctx context.Context, progs []*asm.Program, ws []*Workload, opts Opti
 		CutStats:      cutStats,
 		SynthStats:    synthStats,
 		Proofs:        proofs,
+		Resilience:    resil,
 		BespokeCore:   bespoke,
 		BaselineCore:  baseline,
 	}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 )
 
 // DiskTailorCache is the persistent layer under TailorCache: one file
@@ -39,6 +40,12 @@ import (
 // a half-written temp file is never visible under its final name.
 type DiskTailorCache struct {
 	dir string
+	// swept counts the orphaned temp files removed at open: leftovers
+	// of Puts interrupted by a crash or kill between CreateTemp and
+	// Rename. They are invisible to Get (never renamed into place), so
+	// sweeping them is purely reclamation — but counting them surfaces
+	// how unclean the previous shutdown was.
+	swept int
 }
 
 // diskMagic names the on-disk entry format, version included. Bump the
@@ -50,7 +57,9 @@ const diskMagic = "BTC1"
 // diskEntrySuffix is the entry filename extension.
 const diskEntrySuffix = ".btc"
 
-// NewDiskTailorCache opens (creating if needed) the cache directory.
+// NewDiskTailorCache opens (creating if needed) the cache directory and
+// sweeps temp files orphaned by a crash mid-Put. Completed entries are
+// never touched: only never-renamed "put-*.btc.tmp" files are removed.
 func NewDiskTailorCache(dir string) (*DiskTailorCache, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("core: empty disk cache directory")
@@ -58,11 +67,32 @@ func NewDiskTailorCache(dir string) (*DiskTailorCache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("core: disk cache: %w", err)
 	}
-	return &DiskTailorCache{dir: dir}, nil
+	dc := &DiskTailorCache{dir: dir}
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("core: disk cache: %w", err)
+	}
+	for _, de := range des {
+		name := de.Name()
+		if de.IsDir() || !strings.HasPrefix(name, "put-") || !strings.HasSuffix(name, diskEntrySuffix+".tmp") {
+			continue
+		}
+		// Best-effort: in the unlikely event another live process is
+		// mid-Put on this file, its Rename fails and is absorbed as a
+		// DiskError (a lost write-through, never a failed request).
+		if os.Remove(filepath.Join(dir, name)) == nil {
+			dc.swept++
+		}
+	}
+	return dc, nil
 }
 
 // Dir returns the cache directory.
 func (dc *DiskTailorCache) Dir() string { return dc.dir }
+
+// Swept returns the number of orphaned temp files removed when the
+// cache was opened.
+func (dc *DiskTailorCache) Swept() int { return dc.swept }
 
 func (dc *DiskTailorCache) path(key Key) string {
 	return filepath.Join(dc.dir, key.String()+diskEntrySuffix)

@@ -228,6 +228,76 @@ func TestDiskCacheCorruptEntryIsAMissAndRemoved(t *testing.T) {
 	}
 }
 
+// TestDiskCacheCrashRecoveryAtOpen models a server that died mid-Put
+// and left debris behind: a truncated temp file and a corrupt completed
+// entry. Reopening the cache must sweep the orphaned temp file (and
+// count it), leave real entries alone, and serve requests cleanly —
+// the corrupt entry degrades to a cold run, never an error.
+func TestDiskCacheCrashRecoveryAtOpen(t *testing.T) {
+	dir := t.TempDir()
+	p := asm.MustAssemble(diskAdd)
+
+	// A real completed entry from a previous "process".
+	disk0, err := NewDiskTailorCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc0 := NewTailorCacheWith(CacheConfig{Disk: disk0})
+	if _, err := tc0.Tailor(context.Background(), p, diskAddWorkload(1), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if disk0.Swept() != 0 {
+		t.Fatalf("clean directory swept %d files", disk0.Swept())
+	}
+
+	// Debris: a truncated mid-Put temp file and a corrupt entry under a
+	// key a later request will actually probe.
+	tmpName := filepath.Join(dir, "put-123456"+diskEntrySuffix+".tmp")
+	if err := os.WriteFile(tmpName, []byte("BTC1 half-writ"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	key2, err := tc0.Key([]*asm.Program{p}, []*Workload{diskAddWorkload(2)}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corruptName := filepath.Join(dir, key2.String()+diskEntrySuffix)
+	if err := os.WriteFile(corruptName, []byte("BTC1 torn entry"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: the temp file is swept, the entries (valid and corrupt)
+	// are not.
+	disk, err := NewDiskTailorCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disk.Swept() != 1 {
+		t.Fatalf("swept %d files, want 1", disk.Swept())
+	}
+	if _, err := os.Stat(tmpName); !os.IsNotExist(err) {
+		t.Fatalf("orphaned temp file survived the sweep (err %v)", err)
+	}
+	if _, err := os.Stat(corruptName); err != nil {
+		t.Fatalf("sweep touched a completed entry: %v", err)
+	}
+
+	tc := NewTailorCacheWith(CacheConfig{Disk: disk})
+	if st := tc.Stats(); st.DiskSwept != 1 {
+		t.Fatalf("stats = %+v; want DiskSwept 1", st)
+	}
+	// The untouched valid entry still serves from disk...
+	if _, src, err := tc.TailorTraced(context.Background(), []*asm.Program{p}, []*Workload{diskAddWorkload(1)}, Options{}); err != nil || src != SourceDisk {
+		t.Fatalf("valid entry: src=%v err=%v, want disk hit", src, err)
+	}
+	// ...and the corrupt one degrades to a counted cold run.
+	if _, src, err := tc.TailorTraced(context.Background(), []*asm.Program{p}, []*Workload{diskAddWorkload(2)}, Options{}); err != nil || src != SourceCold {
+		t.Fatalf("corrupt entry: src=%v err=%v, want cold fallback", src, err)
+	}
+	if st := tc.Stats(); st.DiskErrors != 1 {
+		t.Fatalf("stats = %+v; want 1 disk error", st)
+	}
+}
+
 func TestTailorCacheLRUEviction(t *testing.T) {
 	tc := NewTailorCacheWith(CacheConfig{MaxEntries: 2})
 	p := asm.MustAssemble(diskAdd)

@@ -16,7 +16,8 @@ import (
 type FlowError struct {
 	// Stage names the pipeline stage that failed: "init", "analysis",
 	// "baseline-signoff", "cut", "resynth", "lint", "prove",
-	// "bespoke-signoff", "multi-check", "vmin" or "workload".
+	// "bespoke-signoff", "multi-check", "resilience", "vmin" or
+	// "workload".
 	Stage string
 	// Gate is the offending gate when the failure is localized to one
 	// (e.g. a cut constant that was not concrete); netlist.None otherwise.

@@ -1,0 +1,140 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"bespoke/internal/asm"
+	"bespoke/internal/core"
+	"bespoke/internal/cpu"
+)
+
+// fakeRunner returns a ResilienceRunner that fabricates a report with
+// vis visible strikes out of 8 on the bespoke design, letting the gate
+// logic be tested without the cost (or the package cycle) of the real
+// SET engine.
+func fakeRunner(vis int) core.ResilienceRunner {
+	return func(ctx context.Context, base, bespoke *cpu.Core, prog *asm.Program, w *core.Workload, opts core.ResilienceOptions) (*core.ResilienceReport, error) {
+		dv := core.DesignVuln{
+			Sites: 10, Injected: 8, Masked: 8 - vis, Visible: vis,
+			Modules: []core.ModuleVuln{
+				{Module: "alu", Sites: 10, Injected: 8, Masked: 8 - vis, Visible: vis},
+			},
+		}
+		return &core.ResilienceReport{
+			Faults:   opts.Faults,
+			Seed:     opts.Seed,
+			Baseline: dv,
+			Bespoke:  dv,
+		}, nil
+	}
+}
+
+// TestResilienceFailsClosedWithoutRunner: requesting the resilience
+// stage without wiring a campaign runner must reject the flow with a
+// typed error, never silently skip the signoff.
+func TestResilienceFailsClosedWithoutRunner(t *testing.T) {
+	p := asm.MustAssemble(cachedAdd)
+	_, err := core.Tailor(context.Background(), p, cachedAddWorkload(), core.Options{
+		Resilience: &core.ResilienceOptions{Faults: 4},
+	})
+	if err == nil {
+		t.Fatal("flow succeeded with a resilience stage but no runner")
+	}
+	var re *core.ResilienceError
+	if !errors.As(err, &re) {
+		t.Fatalf("expected *core.ResilienceError, got: %v", err)
+	}
+	if !strings.Contains(re.Reason, "no campaign runner") {
+		t.Fatalf("unexpected reason: %q", re.Reason)
+	}
+	var fe *core.FlowError
+	if !errors.As(err, &fe) || fe.Stage != "resilience" {
+		t.Fatalf("failure not attributed to the resilience stage: %v", err)
+	}
+}
+
+// TestResilienceBudgetViolation: a campaign whose visible fraction
+// exceeds MaxVisible rejects the flow with the report attached.
+func TestResilienceBudgetViolation(t *testing.T) {
+	p := asm.MustAssemble(cachedAdd)
+	_, err := core.Tailor(context.Background(), p, cachedAddWorkload(), core.Options{
+		Resilience: &core.ResilienceOptions{Faults: 8, MaxVisible: 0.1, Run: fakeRunner(2)},
+	})
+	if err == nil {
+		t.Fatal("flow accepted 2/8 visible strikes against a 0.1 budget")
+	}
+	var re *core.ResilienceError
+	if !errors.As(err, &re) {
+		t.Fatalf("expected *core.ResilienceError, got: %v", err)
+	}
+	if re.Budget != 0.1 || re.Report == nil || re.Report.Bespoke.Visible != 2 {
+		t.Fatalf("violation detail wrong: %+v", re)
+	}
+	if mod, frac := re.WorstModule(); mod != "alu" || frac != 0.25 {
+		t.Fatalf("WorstModule = %q/%v, want alu/0.25", mod, frac)
+	}
+}
+
+// TestResilienceZeroTolerance: a negative MaxVisible means any visible
+// strike fails, while an all-masked campaign passes.
+func TestResilienceZeroTolerance(t *testing.T) {
+	p := asm.MustAssemble(cachedAdd)
+	_, err := core.Tailor(context.Background(), p, cachedAddWorkload(), core.Options{
+		Resilience: &core.ResilienceOptions{Faults: 8, MaxVisible: -1, Run: fakeRunner(1)},
+	})
+	var re *core.ResilienceError
+	if !errors.As(err, &re) {
+		t.Fatalf("zero-tolerance budget accepted a visible strike: %v", err)
+	}
+
+	res, err := core.Tailor(context.Background(), p, cachedAddWorkload(), core.Options{
+		Resilience: &core.ResilienceOptions{Faults: 8, MaxVisible: -1, Run: fakeRunner(0)},
+	})
+	if err != nil {
+		t.Fatalf("all-masked campaign rejected: %v", err)
+	}
+	if res.Resilience == nil || res.Resilience.Bespoke.Masked != 8 {
+		t.Fatalf("report not attached or wrong: %+v", res.Resilience)
+	}
+}
+
+// TestResilienceCacheKey: resilience knobs enter the cache key (same
+// knobs hit, different seeds miss) and the report round-trips through
+// the cached result.
+func TestResilienceCacheKey(t *testing.T) {
+	p := asm.MustAssemble(cachedAdd)
+	tc := core.NewTailorCache()
+	opts := core.Options{
+		Resilience: &core.ResilienceOptions{Faults: 8, Seed: 5, Run: fakeRunner(1)},
+	}
+	cold, err := tc.Tailor(context.Background(), p, cachedAddWorkload(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Resilience == nil {
+		t.Fatal("cold result carries no resilience report")
+	}
+	hit, err := tc.Tailor(context.Background(), p, cachedAddWorkload(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := tc.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("cache stats = %d hits, %d misses; want 1, 1", st.Hits, st.Misses)
+	}
+	if hit.Resilience == nil || hit.Resilience.Seed != 5 || hit.Resilience.Bespoke.Visible != 1 {
+		t.Fatalf("resilience report did not survive the cache: %+v", hit.Resilience)
+	}
+
+	reseeded := core.Options{
+		Resilience: &core.ResilienceOptions{Faults: 8, Seed: 6, Run: fakeRunner(1)},
+	}
+	if _, err := tc.Tailor(context.Background(), p, cachedAddWorkload(), reseeded); err != nil {
+		t.Fatal(err)
+	}
+	if st := tc.Stats(); st.Misses != 2 {
+		t.Fatalf("reseeded campaign hit a stale entry: %+v", st)
+	}
+}

@@ -13,6 +13,14 @@
 //     bespoke design. The bespoke core has fewer fault sites (fewer
 //     cells, fewer flip-flops), so the same particle-strike model has
 //     fewer places to land - a robustness side benefit of tailoring.
+//  3. Resilience signoff: randomized single-event-transient (SET)
+//     campaigns pulse combinational gate outputs mid-cycle, let the
+//     glitch propagate to the flip-flop D pins, and classify each
+//     strike as masked, latched-but-silent, or architecturally
+//     visible. TailorGate runs the same seeded campaign on the
+//     baseline and the bespoke design and aggregates the outcomes
+//     into the per-module vulnerability maps core.Tailor's optional
+//     resilience stage gates on.
 //
 // Campaigns compare every faulty run against a golden reference (the ISA
 // model's output stream, cross-checked against a clean gate-level run)
@@ -37,8 +45,9 @@ import (
 	"bespoke/internal/symexec"
 )
 
-// Fault is one injection: a permanent stuck-at on a gate output, or a
-// transient bit flip (SEU) in a flip-flop at a given cycle.
+// Fault is one injection: a permanent stuck-at on a gate output, a
+// transient bit flip (SEU) in a flip-flop at a given cycle, or a
+// transient pulse (SET) on a combinational gate output at a given cycle.
 type Fault struct {
 	// Gate is the fault site.
 	Gate netlist.GateID
@@ -47,12 +56,19 @@ type Fault struct {
 	// Transient marks an SEU: the flip-flop's state is inverted once,
 	// at cycle Cycle, instead of being tied down for the whole run.
 	Transient bool
-	// Cycle is the SEU strike time.
+	// Pulse marks an SET: the combinational gate's settled output is
+	// inverted mid-cycle at Cycle, propagates to the flip-flop D pins,
+	// and expires at the following clock edge.
+	Pulse bool
+	// Cycle is the SEU/SET strike time.
 	Cycle uint64
 }
 
 func (f Fault) String() string {
-	if f.Transient {
+	switch {
+	case f.Pulse:
+		return fmt.Sprintf("set(gate %d @ cycle %d)", f.Gate, f.Cycle)
+	case f.Transient:
 		return fmt.Sprintf("seu(dff %d @ cycle %d)", f.Gate, f.Cycle)
 	}
 	return fmt.Sprintf("stuck-at-%s(gate %d)", f.StuckAt, f.Gate)
@@ -65,6 +81,12 @@ const (
 	// Masked: the run was bit-identical to the golden run (same output
 	// stream, same cycle count). The fault had no architectural effect.
 	Masked Outcome = iota
+	// Latched: the injected transient reached at least one flip-flop D
+	// pin at the strike edge (state was corrupted), but the run's
+	// architectural outcome still matched the golden reference. Only SET
+	// campaigns produce this outcome; for other fault kinds a silent
+	// strike reports Masked.
+	Latched
 	// SDC (silent data corruption): the run halted but produced a
 	// different output stream or cycle count.
 	SDC
@@ -77,6 +99,8 @@ func (o Outcome) String() string {
 	switch o {
 	case Masked:
 		return "masked"
+	case Latched:
+		return "latched-silent"
 	case SDC:
 		return "sdc"
 	case Hang:
@@ -101,12 +125,19 @@ type Report struct {
 	Sites int
 	// Injected is the number of faults actually run.
 	Injected int
-	// Masked, SDCs and Hangs partition the injected faults by outcome.
-	Masked int
-	SDCs   int
-	Hangs  int
-	// Diverged holds every non-masked result, ordered by gate then cycle.
+	// Masked, Latched, SDCs and Hangs partition the injected faults by
+	// outcome (Latched is nonzero only for SET campaigns).
+	Masked  int
+	Latched int
+	SDCs    int
+	Hangs   int
+	// Diverged holds every architecturally visible result (SDCs and
+	// hangs), ordered by gate then cycle.
 	Diverged []Result
+	// Results holds every completed injection in injection order,
+	// including masked ones, so callers can aggregate outcomes by fault
+	// site (e.g. per-module vulnerability maps).
+	Results []Result
 }
 
 // Divergent is the number of injections whose behavior differed from the
@@ -274,6 +305,162 @@ func SEUCampaign(ctx context.Context, c *cpu.Core, prog *asm.Program, w *core.Wo
 	return rep, nil
 }
 
+// SETCampaign injects n single-event transients at random
+// (combinational gate, cycle) pairs drawn deterministically from
+// opts.Seed, with strike cycles spread over the golden run's duration.
+// Each strike inverts the gate's settled output mid-cycle; the glitch
+// propagates to the flip-flop D pins and expires at the next clock
+// edge. Outcomes distinguish latched-but-silent strikes from
+// architecturally visible ones.
+func SETCampaign(ctx context.Context, c *cpu.Core, prog *asm.Program, w *core.Workload, n int, opts Options) (*Report, error) {
+	g, err := GoldenRun(ctx, c, prog, w)
+	if err != nil {
+		return nil, err
+	}
+	sites := combSites(c.N)
+	if len(sites) == 0 {
+		return nil, fmt.Errorf("faultinject: design has no combinational gates to strike")
+	}
+	span := g.Cycles
+	if span == 0 {
+		span = 1
+	}
+	r := rng(opts.Seed)
+	faults := make([]Fault, n)
+	for i := range faults {
+		faults[i] = Fault{
+			Gate:  sites[r.next()%uint64(len(sites))],
+			Pulse: true,
+			Cycle: r.next() % span,
+		}
+	}
+	rep, err := runCampaign(ctx, c, prog, w, g, faults, opts)
+	if err != nil {
+		return nil, err
+	}
+	rep.Sites = len(sites)
+	return rep, nil
+}
+
+// combSites lists the design's combinational SET sites: gates with at
+// least one input that are not sequential (inputs, constants and
+// flip-flops cannot glitch combinationally).
+func combSites(n *netlist.Netlist) []netlist.GateID {
+	var sites []netlist.GateID
+	for i := range n.Gates {
+		k := n.Gates[i].Kind
+		if k.IsSeq() || k.NumInputs() == 0 {
+			continue
+		}
+		sites = append(sites, netlist.GateID(i))
+	}
+	return sites
+}
+
+// ModuleMap folds a SET campaign's per-fault results into a per-module
+// vulnerability map, keyed by top-level builder module name (gates in
+// the root module map to "glue"), sorted by name. Site populations come
+// from the design; outcome counts from the report's Results.
+func ModuleMap(n *netlist.Netlist, rep *Report) []core.ModuleVuln {
+	byMod := map[string]*core.ModuleVuln{}
+	row := func(name string) *core.ModuleVuln {
+		m := byMod[name]
+		if m == nil {
+			m = &core.ModuleVuln{Module: name}
+			byMod[name] = m
+		}
+		return m
+	}
+	for name, gates := range n.GatesByModule() {
+		sites := 0
+		for _, id := range gates {
+			if k := n.Gates[id].Kind; !k.IsSeq() && k.NumInputs() > 0 {
+				sites++
+			}
+		}
+		if sites > 0 {
+			row(name).Sites = sites
+		}
+	}
+	for _, res := range rep.Results {
+		m := row(moduleOfTop(n, res.Fault.Gate))
+		m.Injected++
+		switch res.Outcome {
+		case Masked:
+			m.Masked++
+		case Latched:
+			m.Latched++
+		default:
+			m.Visible++
+		}
+	}
+	names := make([]string, 0, len(byMod))
+	for name := range byMod {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]core.ModuleVuln, len(names))
+	for i, name := range names {
+		out[i] = *byMod[name]
+	}
+	return out
+}
+
+// moduleOfTop maps a gate to its top-level module name with the same
+// convention as netlist.GatesByModule: the first path component, or
+// "glue" for the root module.
+func moduleOfTop(n *netlist.Netlist, id netlist.GateID) string {
+	path := n.ModuleOf(id)
+	if path == "" {
+		return "glue"
+	}
+	for i := 0; i < len(path); i++ {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return path
+}
+
+// TailorGate is the core.ResilienceRunner the flow's resilience stage
+// calls (wire it via core.ResilienceOptions.Run): it runs identically
+// seeded SET campaigns on the baseline and the bespoke design and
+// aggregates both into per-module vulnerability maps.
+func TailorGate(ctx context.Context, base, bespoke *cpu.Core, prog *asm.Program, w *core.Workload, ro core.ResilienceOptions) (*core.ResilienceReport, error) {
+	n := ro.Faults
+	if n <= 0 {
+		n = 64
+	}
+	opts := Options{Workers: ro.Workers, Seed: ro.Seed, MaxCycles: ro.MaxCycles}
+	baseRep, err := SETCampaign(ctx, base, prog, w, n, opts)
+	if err != nil {
+		return nil, fmt.Errorf("baseline design: %w", err)
+	}
+	bespRep, err := SETCampaign(ctx, bespoke, prog, w, n, opts)
+	if err != nil {
+		return nil, fmt.Errorf("bespoke design: %w", err)
+	}
+	return &core.ResilienceReport{
+		Faults:   n,
+		Seed:     ro.Seed,
+		Baseline: designVuln(base.N, baseRep),
+		Bespoke:  designVuln(bespoke.N, bespRep),
+	}, nil
+}
+
+// designVuln converts one campaign report into the flow's design-level
+// aggregate.
+func designVuln(n *netlist.Netlist, rep *Report) core.DesignVuln {
+	return core.DesignVuln{
+		Sites:    rep.Sites,
+		Injected: rep.Injected,
+		Masked:   rep.Masked,
+		Latched:  rep.Latched,
+		Visible:  rep.SDCs + rep.Hangs,
+		Modules:  ModuleMap(n, rep),
+	}
+}
+
 // Campaign runs an explicit fault list against the design: it
 // establishes the golden reference, fans the faults out, and reports the
 // outcomes. The targeted campaigns above are built on it; callers with
@@ -315,9 +502,12 @@ func runCampaign(ctx context.Context, c *cpu.Core, prog *asm.Program, w *core.Wo
 			continue // abandoned after an error or cancellation
 		}
 		rep.Injected++
+		rep.Results = append(rep.Results, *o)
 		switch o.Outcome {
 		case Masked:
 			rep.Masked++
+		case Latched:
+			rep.Latched++
 		case SDC:
 			rep.SDCs++
 			rep.Diverged = append(rep.Diverged, *o)
@@ -348,7 +538,40 @@ func runCampaign(ctx context.Context, c *cpu.Core, prog *asm.Program, w *core.Wo
 // divergent outcomes; context errors abort the campaign.
 func injectOne(ctx context.Context, c *cpu.Core, prog *asm.Program, w *core.Workload, g *Golden, f Fault, opts Options) (Result, error) {
 	var hook func(h *cpu.Harness)
-	if f.Transient {
+	latched := false
+	switch {
+	case f.Pulse:
+		// Validate the site up front: the hook runs mid-simulation and
+		// has no error path.
+		if int(f.Gate) < 0 || int(f.Gate) >= len(c.N.Gates) {
+			return Result{}, fmt.Errorf("faultinject: gate %d out of range", f.Gate)
+		}
+		if k := c.N.Gates[f.Gate].Kind; k.IsSeq() || k.NumInputs() == 0 {
+			return Result{}, fmt.Errorf("faultinject: gate %d (%s) is not a combinational SET site", f.Gate, k)
+		}
+		var before, after []logic.V
+		hook = func(h *cpu.Harness) {
+			if h.Cycles != f.Cycle {
+				return
+			}
+			// Settle the fault-free cycle, snapshot the D pins, strike,
+			// and resettle: any D-pin difference means the glitch was
+			// wide enough to be latched at the coming edge.
+			h.Sim.Settle()
+			before = h.Sim.DffDSnapshotInto(before)
+			if _, err := h.Sim.InjectPulse(f.Gate); err != nil {
+				return // unreachable: the site was validated above
+			}
+			h.Sim.Settle()
+			after = h.Sim.DffDSnapshotInto(after)
+			for i := range before {
+				if before[i] != after[i] {
+					latched = true
+					break
+				}
+			}
+		}
+	case f.Transient:
 		hook = func(h *cpu.Harness) {
 			if h.Cycles != f.Cycle {
 				return
@@ -359,7 +582,7 @@ func injectOne(ctx context.Context, c *cpu.Core, prog *asm.Program, w *core.Work
 			}
 			h.Sim.ForceDff(f.Gate, flip)
 		}
-	} else {
+	default:
 		restore, err := stuckAt(c.N, f.Gate, f.StuckAt)
 		if err != nil {
 			return Result{}, err
@@ -392,6 +615,10 @@ func injectOne(ctx context.Context, c *cpu.Core, prog *asm.Program, w *core.Work
 	if tr.Cycles != g.Cycles {
 		return Result{Fault: f, Outcome: SDC,
 			Detail: fmt.Sprintf("halted at cycle %d, golden %d", tr.Cycles, g.Cycles)}, nil
+	}
+	if latched {
+		return Result{Fault: f, Outcome: Latched,
+			Detail: "corrupted flip-flop state at the strike edge, architecturally silent"}, nil
 	}
 	return Result{Fault: f, Outcome: Masked}, nil
 }

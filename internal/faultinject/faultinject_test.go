@@ -2,9 +2,12 @@ package faultinject
 
 import (
 	"context"
+	"errors"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"bespoke/internal/asm"
 	"bespoke/internal/bench"
@@ -12,6 +15,7 @@ import (
 	"bespoke/internal/cpu"
 	"bespoke/internal/cut"
 	"bespoke/internal/logic"
+	"bespoke/internal/netlist"
 	"bespoke/internal/symexec"
 	"bespoke/internal/verify"
 )
@@ -185,6 +189,222 @@ func TestCampaignCancellation(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "context canceled") {
 		t.Fatalf("expected a context error, got: %v", err)
+	}
+}
+
+// TestSETCampaign runs a short combinational transient campaign and
+// checks the bookkeeping: every injection is accounted for by exactly
+// one of the four outcomes, and Results retains every strike for
+// per-module aggregation.
+func TestSETCampaign(t *testing.T) {
+	rep := setReport(t)
+	n := setFaultCount()
+	if rep.Injected != n {
+		t.Fatalf("injected %d of %d SETs", rep.Injected, n)
+	}
+	if rep.Masked+rep.Latched+rep.SDCs+rep.Hangs != rep.Injected {
+		t.Fatalf("outcomes do not partition injections: %+v", rep)
+	}
+	if rep.Sites == 0 {
+		t.Fatal("no combinational fault sites reported")
+	}
+	if len(rep.Results) != rep.Injected {
+		t.Fatalf("Results holds %d of %d injections", len(rep.Results), rep.Injected)
+	}
+	for _, res := range rep.Results {
+		if !res.Fault.Pulse {
+			t.Fatalf("non-SET fault in a SET campaign: %v", res.Fault)
+		}
+	}
+}
+
+var setOnce struct {
+	sync.Once
+	rep *Report
+	err error
+}
+
+func setFaultCount() int {
+	if testing.Short() {
+		return 8
+	}
+	return 24
+}
+
+func setReport(t *testing.T) *Report {
+	t.Helper()
+	_, prog, w := multSetup(t)
+	setOnce.Do(func() {
+		setOnce.rep, setOnce.err = SETCampaign(context.Background(), cpu.Build(), prog, w,
+			setFaultCount(), Options{Seed: 11})
+	})
+	if setOnce.err != nil {
+		t.Fatal(setOnce.err)
+	}
+	return setOnce.rep
+}
+
+// TestModuleMap folds the SET report into a per-module vulnerability
+// map and checks it against the design-level totals.
+func TestModuleMap(t *testing.T) {
+	rep := setReport(t)
+	mm := ModuleMap(cpu.Build().N, rep)
+	if len(mm) == 0 {
+		t.Fatal("empty module map")
+	}
+	var sites, injected, masked, latched, visible int
+	for i, m := range mm {
+		if i > 0 && mm[i-1].Module >= m.Module {
+			t.Fatalf("module map not sorted: %q before %q", mm[i-1].Module, m.Module)
+		}
+		if m.Injected != m.Masked+m.Latched+m.Visible {
+			t.Fatalf("module %s outcomes do not partition injections: %+v", m.Module, m)
+		}
+		sites += m.Sites
+		injected += m.Injected
+		masked += m.Masked
+		latched += m.Latched
+		visible += m.Visible
+	}
+	if sites != rep.Sites {
+		t.Fatalf("module sites sum %d, design has %d", sites, rep.Sites)
+	}
+	if injected != rep.Injected || masked != rep.Masked || latched != rep.Latched {
+		t.Fatalf("module totals diverge from report: %d/%d/%d vs %+v", injected, masked, latched, rep)
+	}
+	if visible != rep.SDCs+rep.Hangs {
+		t.Fatalf("module visible sum %d, report has %d", visible, rep.SDCs+rep.Hangs)
+	}
+}
+
+// TestSETPulseRejectsBadSites: SET faults aimed at flip-flops, inputs
+// or out-of-range gates are campaign errors, not silent no-ops.
+func TestSETPulseRejectsBadSites(t *testing.T) {
+	_, prog, w := multSetup(t)
+	c := cpu.Build()
+	var dff netlist.GateID = netlist.None
+	for i := range c.N.Gates {
+		if c.N.Gates[i].Kind == netlist.Dff {
+			dff = netlist.GateID(i)
+			break
+		}
+	}
+	for _, f := range []Fault{
+		{Gate: dff, Pulse: true},
+		{Gate: netlist.GateID(len(c.N.Gates)), Pulse: true},
+	} {
+		if _, err := Campaign(context.Background(), c, prog, w, []Fault{f}, Options{}); err == nil {
+			t.Fatalf("campaign accepted invalid SET site %v", f)
+		}
+	}
+}
+
+// TestSETCampaignPreCancelled: a context cancelled before the campaign
+// starts aborts it with context.Canceled. (Satellite of the resilience
+// signoff work: the serving path relies on prompt cancellation.)
+func TestSETCampaignPreCancelled(t *testing.T) {
+	_, prog, w := multSetup(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := SETCampaign(ctx, cpu.Build(), prog, w, 8, Options{Seed: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled, got: %v", err)
+	}
+}
+
+// TestSETCampaignMidCancelLeaksNothing cancels a deliberately oversized
+// campaign mid-flight and asserts it returns context.Canceled promptly
+// and that the worker pool's goroutines drain.
+func TestSETCampaignMidCancelLeaksNothing(t *testing.T) {
+	_, prog, w := multSetup(t)
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := SETCampaign(ctx, cpu.Build(), prog, w, 4096, Options{Seed: 2})
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("expected context.Canceled, got: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("campaign did not return within 10s of cancellation")
+	}
+
+	// The pool tears down asynchronously after ForEachState returns;
+	// poll briefly for the goroutine count to drop back.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Fatalf("goroutines leaked: %d before campaign, %d after cancellation", before, g)
+	}
+}
+
+// TestTailorGateResilienceSignoff drives the full flow: core.Tailor
+// with a resilience stage wired to TailorGate must attach a report
+// under the default (report-only) budget, and must fail closed with a
+// *core.ResilienceError under a zero-tolerance budget when the
+// campaign finds architecturally visible strikes.
+func TestTailorGateResilienceSignoff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs four SET campaigns")
+	}
+	_, prog, w := multSetup(t)
+
+	// Report-only: MaxVisible 0 means budget 1.0, so the stage can only
+	// fail if the campaign itself fails.
+	res, err := core.Tailor(context.Background(), prog, w, core.Options{
+		Resilience: &core.ResilienceOptions{Faults: 16, Seed: 11, Run: TailorGate},
+	})
+	if err != nil {
+		t.Fatalf("report-only resilience stage failed: %v", err)
+	}
+	rep := res.Resilience
+	if rep == nil {
+		t.Fatal("resilience stage attached no report")
+	}
+	if rep.Bespoke.Injected != 16 || rep.Baseline.Injected != 16 {
+		t.Fatalf("campaign sizes wrong: baseline %d, bespoke %d", rep.Baseline.Injected, rep.Bespoke.Injected)
+	}
+	if rep.Bespoke.Sites >= rep.Baseline.Sites {
+		t.Fatalf("bespoke SET sites %d not below baseline %d", rep.Bespoke.Sites, rep.Baseline.Sites)
+	}
+
+	// Zero tolerance: sweep seeds until a campaign with a visible strike
+	// rejects the flow as a typed *core.ResilienceError.
+	for seed := uint64(1); ; seed++ {
+		if seed > 32 {
+			t.Fatal("no seed in 1..32 produced a visible SET; cannot exercise the fail-closed path")
+		}
+		_, err := core.Tailor(context.Background(), prog, w, core.Options{
+			Resilience: &core.ResilienceOptions{Faults: 16, Seed: seed, MaxVisible: -1, Run: TailorGate},
+		})
+		if err == nil {
+			continue // every strike masked or latched at this seed
+		}
+		var re *core.ResilienceError
+		if !errors.As(err, &re) {
+			t.Fatalf("expected *core.ResilienceError, got: %v", err)
+		}
+		var fe *core.FlowError
+		if !errors.As(err, &fe) || fe.Stage != "resilience" {
+			t.Fatalf("resilience failure not wrapped in the resilience stage: %v", err)
+		}
+		if re.Report == nil || re.Report.Bespoke.Visible == 0 {
+			t.Fatalf("budget violation carries no visible strikes: %+v", re)
+		}
+		if mod, frac := re.WorstModule(); mod == "" || frac <= 0 {
+			t.Fatalf("WorstModule gave %q/%v for a visible violation", mod, frac)
+		}
+		break
 	}
 }
 

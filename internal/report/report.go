@@ -81,6 +81,31 @@ func (t *Table) String() string {
 	return b.String()
 }
 
+// WriteMarkdown renders the table as GitHub-flavored markdown (title as
+// a bold line, pipe-delimited header, separator and rows), for pasting
+// campaign results into the experiment docs.
+func (t *Table) WriteMarkdown(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "\n**%s**\n\n", t.Title)
+	}
+	row := func(cells []string) {
+		fmt.Fprint(w, "|")
+		for _, c := range cells {
+			fmt.Fprintf(w, " %s |", strings.ReplaceAll(c, "|", "\\|"))
+		}
+		fmt.Fprintln(w)
+	}
+	row(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	row(sep)
+	for _, r := range t.Rows {
+		row(r)
+	}
+}
+
 // Bar renders a labeled percentage bar ("name  ####----- 42.0%").
 func Bar(w io.Writer, label string, frac float64, width int) {
 	if frac < 0 {

@@ -32,6 +32,31 @@ func TestTableAlignment(t *testing.T) {
 	}
 }
 
+func TestWriteMarkdown(t *testing.T) {
+	tab := NewTable("Vuln map", "Module", "Visible")
+	tab.AddRow("alu", "2")
+	tab.AddRow("weird|name", "0")
+	var b strings.Builder
+	tab.WriteMarkdown(&b)
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "**Vuln map**" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if lines[2] != "| Module | Visible |" {
+		t.Errorf("header line = %q", lines[2])
+	}
+	if lines[3] != "| --- | --- |" {
+		t.Errorf("separator line = %q", lines[3])
+	}
+	if lines[4] != "| alu | 2 |" {
+		t.Errorf("row line = %q", lines[4])
+	}
+	if !strings.Contains(lines[5], `weird\|name`) {
+		t.Errorf("pipe not escaped: %q", lines[5])
+	}
+}
+
 func TestBarClamps(t *testing.T) {
 	var b strings.Builder
 	Bar(&b, "x", 1.7, 10)

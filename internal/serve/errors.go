@@ -51,7 +51,18 @@ func classify(err error, reqCtx context.Context) (int, ErrorDetail) {
 	var le *core.LintError
 	var se *symexec.LimitError
 	var pe *equiv.ProofError
+	var re *core.ResilienceError
 	switch {
+	case errors.As(err, &re):
+		d.Kind = "resilience"
+		d.Status = http.StatusUnprocessableEntity
+		rd := &ResilienceDetail{Reason: re.Reason, Budget: re.Budget}
+		if re.Report != nil {
+			rd.VisibleFrac = re.Report.Bespoke.VisibleFrac()
+			rd.WorstModule, _ = re.WorstModule()
+			rd.Report = wireResilience(re.Report)
+		}
+		d.Resilience = rd
 	case errors.As(err, &le):
 		d.Kind = "lint"
 		d.Status = http.StatusUnprocessableEntity

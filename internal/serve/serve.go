@@ -3,7 +3,6 @@ package serve
 import (
 	"context"
 	"encoding/json"
-	"fmt"
 	"math"
 	"net/http"
 	"runtime"
@@ -267,10 +266,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, s.Stats())
 }
 
+// handleHealthz reports liveness and readiness in one probe: 200 while
+// the server can admit a cold tailor, 503 with status "degraded" once
+// the cold-flow queue is at the admission-control cap (every further
+// cold request would be rejected with 429), so load balancers can shed
+// traffic before clients see rejections.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	w.WriteHeader(http.StatusOK)
-	fmt.Fprintln(w, "ok")
+	type health struct {
+		Status string `json:"status"`
+	}
+	if s.queuedCold.Load() >= int64(s.cfg.QueueDepth) {
+		s.writeJSON(w, http.StatusServiceUnavailable, health{Status: "degraded"})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, health{Status: "ok"})
 }
 
 // retryAfter estimates when a slot should free up: the queue's worth of

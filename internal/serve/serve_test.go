@@ -355,6 +355,102 @@ func TestMultiProgramRequest(t *testing.T) {
 	}
 }
 
+// TestResilienceOverHTTP drives the resilience signoff through the
+// wire: a report-only request carries the vulnerability maps in the
+// response, and a zero-tolerance request with visible strikes is a 422
+// with kind "resilience" and the structured violation attached.
+func TestResilienceOverHTTP(t *testing.T) {
+	s := newTestServer(t, Config{})
+
+	req := addRequest(7)
+	req.Options = &FlowOptions{Resilience: true, ResilienceFaults: 8, ResilienceSeed: 11}
+	resp := decodeResponse(t, post(t, s, nil, req))
+	if resp.Resilience == nil {
+		t.Fatal("response carries no resilience section")
+	}
+	r := resp.Resilience
+	if r.Bespoke.Injected != 8 || r.Baseline.Injected != 8 {
+		t.Fatalf("campaign sizes wrong: %+v", r)
+	}
+	if r.Bespoke.Sites >= r.Baseline.Sites {
+		t.Fatalf("bespoke SET sites %d not below baseline %d", r.Bespoke.Sites, r.Baseline.Sites)
+	}
+	if len(r.Bespoke.Modules) == 0 {
+		t.Fatal("bespoke vulnerability map has no modules")
+	}
+	if r.Bespoke.Masked+r.Bespoke.Latched+r.Bespoke.Visible != r.Bespoke.Injected {
+		t.Fatalf("outcomes do not partition injections: %+v", r.Bespoke)
+	}
+
+	// Zero tolerance: sweep seeds until a visible strike rejects the
+	// request with the typed wire error.
+	for seed := uint64(1); ; seed++ {
+		if seed > 32 {
+			t.Fatal("no seed in 1..32 produced a visible SET; cannot exercise the 422 path")
+		}
+		req := addRequest(7)
+		req.Options = &FlowOptions{
+			Resilience: true, ResilienceFaults: 8,
+			ResilienceSeed: seed, ResilienceMaxVisible: -1,
+		}
+		rec := post(t, s, nil, req)
+		if rec.Code == http.StatusOK {
+			continue // every strike masked or latched at this seed
+		}
+		detail := decodeError(t, rec, http.StatusUnprocessableEntity, "resilience")
+		if detail.Stage != "resilience" {
+			t.Fatalf("stage %q, want resilience", detail.Stage)
+		}
+		rd := detail.Resilience
+		if rd == nil || rd.Report == nil {
+			t.Fatalf("resilience error carries no structured detail: %+v", detail)
+		}
+		if rd.VisibleFrac <= 0 || rd.WorstModule == "" || rd.Report.Bespoke.Visible == 0 {
+			t.Fatalf("violation detail incomplete: %+v", rd)
+		}
+		break
+	}
+}
+
+// TestHealthzDegradedAtCapacity: while the cold-flow queue is at the
+// admission-control cap, /healthz flips to 503 {"status":"degraded"}
+// so load balancers shed traffic before clients see 429s; it recovers
+// to 200 once the queue drains.
+func TestHealthzDegradedAtCapacity(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	getHealth := func() (int, string) {
+		req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		return rec.Code, rec.Body.String()
+	}
+
+	if code, body := getHealth(); code != http.StatusOK || !strings.Contains(body, `"status":"ok"`) {
+		t.Fatalf("idle healthz: %d %q", code, body)
+	}
+
+	done := make(chan *httptest.ResponseRecorder, 1)
+	go func() { done <- post(t, s, nil, &Request{Source: slowSrc}) }()
+	waitFor(t, func() bool { return s.Stats().QueuedCold == 1 })
+
+	code, body := getHealth()
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz at capacity: %d %q, want 503", code, body)
+	}
+	var h struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal([]byte(body), &h); err != nil || h.Status != "degraded" {
+		t.Fatalf("degraded body = %q (err %v), want status degraded", body, err)
+	}
+
+	decodeResponse(t, <-done)
+	waitFor(t, func() bool { return s.Stats().QueuedCold == 0 })
+	if code, body := getHealth(); code != http.StatusOK || !strings.Contains(body, `"status":"ok"`) {
+		t.Fatalf("healthz after drain: %d %q", code, body)
+	}
+}
+
 func TestStatsAndHealthEndpoints(t *testing.T) {
 	s := newTestServer(t, Config{})
 	decodeResponse(t, post(t, s, nil, addRequest(9)))

@@ -20,6 +20,7 @@ import (
 
 	"bespoke/internal/asm"
 	"bespoke/internal/core"
+	"bespoke/internal/faultinject"
 	"bespoke/internal/netlist"
 	"bespoke/internal/symexec"
 )
@@ -102,6 +103,19 @@ type FlowOptions struct {
 	Prove bool `json:"prove,omitempty"`
 	// ProveBudget caps solver conflicts per query when Prove is set.
 	ProveBudget int64 `json:"prove_budget,omitempty"`
+	// Resilience enables the SET-campaign signoff stage: seeded
+	// combinational transient injections on the baseline and bespoke
+	// designs, aggregated into per-module vulnerability maps.
+	Resilience bool `json:"resilience,omitempty"`
+	// ResilienceFaults is the number of SET injections per design when
+	// Resilience is set (0 = default, 64).
+	ResilienceFaults int `json:"resilience_faults,omitempty"`
+	// ResilienceSeed drives the campaign's (site, cycle) sampling.
+	ResilienceSeed uint64 `json:"resilience_seed,omitempty"`
+	// ResilienceMaxVisible is the tolerated fraction of architecturally
+	// visible injections on the bespoke design: 0 means report-only
+	// (budget 1.0); a negative value means zero tolerance.
+	ResilienceMaxVisible float64 `json:"resilience_max_visible,omitempty"`
 }
 
 // Response is the POST /v1/tailor success body.
@@ -128,6 +142,9 @@ type Response struct {
 	// Proofs summarizes the formal gate per program when options.prove
 	// was set.
 	Proofs []ProofStats `json:"proofs,omitempty"`
+	// Resilience carries the SET-campaign vulnerability maps when
+	// options.resilience was set.
+	Resilience *ResilienceStats `json:"resilience,omitempty"`
 
 	// NetlistB64 is the tailored netlist's canonical binary encoding
 	// when include_netlist was set (decode with internal/netlist).
@@ -183,6 +200,36 @@ type ProofStats struct {
 	MiterEquivalent  bool `json:"miter_equivalent"`
 }
 
+// ResilienceStats is the wire form of core.ResilienceReport: the same
+// seeded SET campaign on both designs.
+type ResilienceStats struct {
+	Faults   int       `json:"faults"`
+	Seed     uint64    `json:"seed"`
+	Baseline VulnPoint `json:"baseline"`
+	Bespoke  VulnPoint `json:"bespoke"`
+}
+
+// VulnPoint is one design's SET vulnerability aggregate.
+type VulnPoint struct {
+	Sites       int          `json:"sites"`
+	Injected    int          `json:"injected"`
+	Masked      int          `json:"masked"`
+	Latched     int          `json:"latched"`
+	Visible     int          `json:"visible"`
+	VisibleFrac float64      `json:"visible_frac"`
+	Modules     []ModuleVuln `json:"modules,omitempty"`
+}
+
+// ModuleVuln is one module's row in a vulnerability map.
+type ModuleVuln struct {
+	Module   string `json:"module"`
+	Sites    int    `json:"sites"`
+	Injected int    `json:"injected"`
+	Masked   int    `json:"masked"`
+	Latched  int    `json:"latched"`
+	Visible  int    `json:"visible"`
+}
+
 // ErrorBody is the JSON error envelope for every non-2xx status.
 type ErrorBody struct {
 	Error ErrorDetail `json:"error"`
@@ -195,8 +242,8 @@ type ErrorDetail struct {
 	// Status is the HTTP status sent with this body.
 	Status int `json:"status"`
 	// Kind classifies the failure: "bad-request", "queue-full",
-	// "deadline", "client-gone", "lint", "limit", "proof", "flow" or
-	// "internal".
+	// "deadline", "client-gone", "lint", "limit", "proof", "resilience",
+	// "flow" or "internal".
 	Kind    string `json:"kind"`
 	Message string `json:"message"`
 	// Stage is the flow pipeline stage that failed, when known.
@@ -213,6 +260,9 @@ type ErrorDetail struct {
 	Limit *LimitDetail `json:"limit,omitempty"`
 	// Proof carries the refutation for "proof" failures.
 	Proof *ProofDetail `json:"proof,omitempty"`
+	// Resilience carries the budget violation (and the campaign report
+	// when one ran) for "resilience" failures.
+	Resilience *ResilienceDetail `json:"resilience,omitempty"`
 }
 
 // LintFinding is one static-analysis finding.
@@ -241,6 +291,20 @@ type ProofDetail struct {
 	Refuted int    `json:"refuted"`
 }
 
+// ResilienceDetail is a resilience signoff rejection.
+type ResilienceDetail struct {
+	Reason string `json:"reason"`
+	// Budget is the configured visible-fraction budget.
+	Budget float64 `json:"budget"`
+	// VisibleFrac is the bespoke design's observed visible fraction.
+	VisibleFrac float64 `json:"visible_frac"`
+	// WorstModule names the bespoke module with the highest visible
+	// fraction ("" when no campaign report is attached).
+	WorstModule string `json:"worst_module,omitempty"`
+	// Report is the full campaign outcome when the campaign ran.
+	Report *ResilienceStats `json:"report,omitempty"`
+}
+
 // compile translates the wire request into flow inputs. Errors are
 // client errors (bad request).
 func (r *Request) compile() ([]*asm.Program, []*core.Workload, core.Options, error) {
@@ -251,6 +315,14 @@ func (r *Request) compile() ([]*asm.Program, []*core.Workload, core.Options, err
 		opts.Prove = o.Prove
 		if o.ProveBudget != 0 {
 			opts.ProveOpts.QueryBudget = o.ProveBudget
+		}
+		if o.Resilience {
+			opts.Resilience = &core.ResilienceOptions{
+				Faults:     o.ResilienceFaults,
+				Seed:       o.ResilienceSeed,
+				MaxVisible: o.ResilienceMaxVisible,
+				Run:        faultinject.TailorGate,
+			}
 		}
 	}
 	specs := r.Programs
@@ -391,8 +463,42 @@ func buildResponse(res *core.Result, key core.Key, source string, elapsedMs floa
 		}
 		out.Proofs = append(out.Proofs, ps)
 	}
+	if res.Resilience != nil {
+		out.Resilience = wireResilience(res.Resilience)
+	}
 	if includeNetlist && res.BespokeCore != nil {
 		out.NetlistB64 = base64.StdEncoding.EncodeToString(netlist.Encode(res.BespokeCore.N))
+	}
+	return out
+}
+
+func wireResilience(rep *core.ResilienceReport) *ResilienceStats {
+	return &ResilienceStats{
+		Faults:   rep.Faults,
+		Seed:     rep.Seed,
+		Baseline: vulnPoint(rep.Baseline),
+		Bespoke:  vulnPoint(rep.Bespoke),
+	}
+}
+
+func vulnPoint(d core.DesignVuln) VulnPoint {
+	out := VulnPoint{
+		Sites:       d.Sites,
+		Injected:    d.Injected,
+		Masked:      d.Masked,
+		Latched:     d.Latched,
+		Visible:     d.Visible,
+		VisibleFrac: d.VisibleFrac(),
+	}
+	for _, m := range d.Modules {
+		out.Modules = append(out.Modules, ModuleVuln{
+			Module:   m.Module,
+			Sites:    m.Sites,
+			Injected: m.Injected,
+			Masked:   m.Masked,
+			Latched:  m.Latched,
+			Visible:  m.Visible,
+		})
 	}
 	return out
 }

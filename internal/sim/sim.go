@@ -168,6 +168,11 @@ type Sim struct {
 	dffD     []int32   // D input net per flip-flop, in dffs order
 	dffReset []logic.V // reset value per flip-flop, in dffs order
 
+	// pulsed lists combinational gates carrying an injected
+	// single-event-transient (see InjectPulse) until the next clock edge
+	// re-evaluates them from their inputs.
+	pulsed []netlist.GateID
+
 	edgeStage []staged
 
 	resetting bool
@@ -558,7 +563,52 @@ func (s *Sim) Edge() {
 			s.dirtyBlocks++
 		}
 	}
+	// Injected transients expire at the edge: state sampled above kept the
+	// corrupted value, but the struck gates themselves recover to the value
+	// their inputs dictate (the pulse is shorter than a clock period).
+	s.clearPulses()
 	s.Cycle++
+}
+
+// InjectPulse models a single-event transient on combinational gate id:
+// its settled output is inverted in place (an X output is driven to One)
+// and the glitch propagates through the fanout on the next Settle. The
+// pulse lasts until the end of the current cycle: Edge re-evaluates the
+// gate from its inputs after the flip-flops have sampled, so state
+// captured during the strike cycle keeps the corrupted value while the
+// gate itself recovers. The forced value is returned. Sequential gates,
+// inputs and constants are not SET sites and are rejected.
+func (s *Sim) InjectPulse(id netlist.GateID) (logic.V, error) {
+	if int(id) < 0 || int(id) >= len(s.N.Gates) {
+		return logic.X, fmt.Errorf("sim: gate %d out of range", id)
+	}
+	k := s.N.Gates[id].Kind
+	if k.IsSeq() || k.NumInputs() == 0 {
+		return logic.X, fmt.Errorf("sim: gate %d (%s) is not a combinational SET site", id, k)
+	}
+	flip := logic.One
+	if s.Val[id] == logic.One {
+		flip = logic.Zero
+	}
+	s.drive(id, flip)
+	s.pulsed = append(s.pulsed, id)
+	return flip, nil
+}
+
+// clearPulses re-evaluates every pulsed gate from its current inputs and
+// forgets the pulses. Without this the event-driven kernel would never
+// heal a struck gate: a gate re-evaluates only when an input changes, and
+// the injection changed its output, not its inputs.
+func (s *Sim) clearPulses() {
+	for _, id := range s.pulsed {
+		op := &s.ops[id]
+		idx := op.off | int32(s.Val[op.in0]) |
+			int32(s.Val[op.in1])<<2 | int32(s.Val[op.in2])<<4
+		if v := evalTab[idx]; v != s.Val[id] {
+			s.drive(id, v)
+		}
+	}
+	s.pulsed = s.pulsed[:0]
 }
 
 type staged struct {
@@ -598,6 +648,7 @@ func (s *Sim) Reset() {
 	copy(s.bucketNext, s.bucketOff[:len(s.bucketNext)])
 	s.pending = 0
 	s.minPend = 0
+	s.pulsed = s.pulsed[:0]
 	for _, b := range s.blocks {
 		b.Reset(s)
 	}
@@ -688,6 +739,21 @@ func (s *Sim) DffSnapshotInto(dst []logic.V) []logic.V {
 	}
 	for i, id := range s.dffs {
 		dst[i] = s.Val[id]
+	}
+	return dst
+}
+
+// DffDSnapshotInto captures the value on every flip-flop's D input (what
+// each flip-flop would latch at the next Edge) in DffIDs order, reusing
+// dst when it has the right length. The fault-injection engine compares
+// snapshots taken before and after a transient settles to decide whether
+// a glitch reached any latch point.
+func (s *Sim) DffDSnapshotInto(dst []logic.V) []logic.V {
+	if len(dst) != len(s.dffs) {
+		dst = make([]logic.V, len(s.dffs))
+	}
+	for i := range s.dffs {
+		dst[i] = s.Val[s.dffD[i]]
 	}
 	return dst
 }

@@ -380,6 +380,99 @@ func TestRAMStateCoversMerge(t *testing.T) {
 	}
 }
 
+func TestInjectPulseLatchesAndRecovers(t *testing.T) {
+	b, en, q := buildCounter()
+	s, err := New(b.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Reset()
+	s.Drive(en, logic.One)
+	for i := 0; i < 3; i++ {
+		s.Step()
+	}
+	s.Settle()
+	if got := s.ReadBus(q).Val; got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+	// Strike the D net of counter bit 0: the next value is 4, so bit 0's
+	// D carries 0 and the pulse flips it to 1.
+	d0 := s.N.Gates[q[0]].In[0]
+	before := s.DffDSnapshotInto(nil)
+	flip, err := s.InjectPulse(d0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flip != logic.One || s.Val[d0] != logic.One {
+		t.Fatalf("pulse drove %v (net now %v), want 1", flip, s.Val[d0])
+	}
+	s.Settle()
+	after := s.DffDSnapshotInto(nil)
+	diff := 0
+	for i := range before {
+		if before[i] != after[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("settled D snapshot unchanged by a pulse on a D net")
+	}
+	// The edge latches the glitch (4 becomes 5) and the struck gate heals.
+	s.Edge()
+	s.Settle()
+	if got := s.ReadBus(q).Val; got != 5 {
+		t.Fatalf("counter after strike = %d, want 5 (4 with bit 0 corrupted)", got)
+	}
+	if len(s.pulsed) != 0 {
+		t.Fatalf("%d pulses survived the edge", len(s.pulsed))
+	}
+	// Post-strike the machine runs correctly from the corrupted state.
+	s.Step()
+	s.Settle()
+	if got := s.ReadBus(q).Val; got != 6 {
+		t.Fatalf("counter one cycle after strike = %d, want 6", got)
+	}
+}
+
+func TestInjectPulseRejectsNonCombSites(t *testing.T) {
+	b, en, q := buildCounter()
+	s, err := New(b.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Reset()
+	if _, err := s.InjectPulse(q[0]); err == nil {
+		t.Error("pulse on a flip-flop accepted")
+	}
+	if _, err := s.InjectPulse(en); err == nil {
+		t.Error("pulse on a primary input accepted")
+	}
+	if _, err := s.InjectPulse(netlist.GateID(len(s.N.Gates))); err == nil {
+		t.Error("pulse on an out-of-range gate accepted")
+	}
+}
+
+func TestResetClearsPulses(t *testing.T) {
+	b, en, q := buildCounter()
+	s, err := New(b.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Reset()
+	s.Drive(en, logic.One)
+	s.Settle()
+	if _, err := s.InjectPulse(s.N.Gates[q[0]].In[0]); err != nil {
+		t.Fatal(err)
+	}
+	s.Reset()
+	if len(s.pulsed) != 0 {
+		t.Fatal("Reset kept a pending pulse")
+	}
+	if got := s.ReadBus(q); !got.Known() || got.Val != 0 {
+		t.Fatalf("counter after reset = %v, want 0", got)
+	}
+}
+
 func TestCombinationalCycleDetected(t *testing.T) {
 	n := netlist.New()
 	a := n.Add(netlist.Gate{Kind: netlist.Buf, In: [3]netlist.GateID{0, netlist.None, netlist.None}})
