@@ -17,6 +17,7 @@ import (
 	"bespoke/internal/cpu"
 	"bespoke/internal/cut"
 	"bespoke/internal/experiments"
+	"bespoke/internal/faultinject"
 	"bespoke/internal/layout"
 	"bespoke/internal/netlist"
 	"bespoke/internal/power"
@@ -210,6 +211,35 @@ func BenchmarkGateSimulation(b *testing.B) {
 		cycles = tr.Cycles
 	}
 	b.ReportMetric(float64(cycles), "cycles/run")
+}
+
+// BenchmarkBitParallelCampaign measures the batched fault-campaign
+// path: one 64-lane simulator pass settles 63 SEU injections plus the
+// golden guard lane. Workers is pinned to 1 so the committed number is
+// per-core throughput, comparable against BenchmarkScalarCampaign.
+func BenchmarkBitParallelCampaign(b *testing.B) { benchCampaign(b, false) }
+
+// BenchmarkScalarCampaign is the one-run-per-fault counterpart of
+// BenchmarkBitParallelCampaign: the same 63-fault seeded SEU schedule,
+// one scalar simulation per fault on a single worker.
+func BenchmarkScalarCampaign(b *testing.B) { benchCampaign(b, true) }
+
+func benchCampaign(b *testing.B, scalar bool) {
+	bm := bench.ByName("mult")
+	p := bm.MustProg()
+	c := cpu.Build()
+	w := bm.Workload(1)
+	var rate float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := faultinject.SEUCampaign(context.Background(), c, p, w, 63,
+			faultinject.Options{Workers: 1, Seed: 9, Scalar: scalar})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rate = float64(rep.Injected) / rep.Elapsed.Seconds()
+	}
+	b.ReportMetric(rate, "inj/s")
 }
 
 // BenchmarkISASimulation measures golden-model speed for comparison.

@@ -9,8 +9,13 @@
 // Usage:
 //
 //	bespoke-faults [-bench all|quick|name,...] [-faults N] [-seu N] [-set N]
-//	               [-set-budget F] [-map] [-markdown]
+//	               [-set-budget F] [-map] [-markdown] [-scalar]
 //	               [-workers N] [-seed S] [-timeout D]
+//
+// Campaigns run on the bit-parallel backend by default (63 faulty worlds
+// plus a golden guard lane per simulator pass); -scalar forces the
+// one-run-per-fault engine. Either way the summary and the -markdown
+// tables report campaign throughput (injections/sec, lanes/batch).
 //
 // The command exits nonzero if any claimed-constant injection diverges
 // (the activity analysis would be wrong) or if -set-budget is exceeded
@@ -25,6 +30,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"bespoke/internal/bench"
 	"bespoke/internal/core"
@@ -40,6 +46,7 @@ func main() {
 	setBudget := flag.Float64("set-budget", 0, "tolerated visible SET fraction on the bespoke design (0 = report only, negative = zero tolerance)")
 	showMap := flag.Bool("map", false, "print the per-module SET vulnerability maps")
 	markdown := flag.Bool("markdown", false, "render tables as markdown (for the experiment docs)")
+	scalar := flag.Bool("scalar", false, "force the scalar one-run-per-fault backend instead of 64-lane batches")
 	workers := flag.Int("workers", 0, "worker pool width (0 = GOMAXPROCS)")
 	seed := flag.Uint64("seed", 1, "campaign sampling seed")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for all campaigns (0 = unlimited)")
@@ -57,7 +64,7 @@ func main() {
 		os.Exit(2)
 	}
 	cfg := campaignConfig{
-		opts:      faultinject.Options{Workers: *workers, MaxFaults: *faults, Seed: *seed},
+		opts:      faultinject.Options{Workers: *workers, MaxFaults: *faults, Seed: *seed, Scalar: *scalar},
 		seus:      *seus,
 		sets:      *sets,
 		setBudget: *setBudget,
@@ -118,6 +125,9 @@ func run(ctx context.Context, list []*bench.Benchmark, cfg campaignConfig) error
 		"Msk base", "Lat base", "Vis base", "Msk besp", "Lat besp", "Vis besp")
 	modT := report.NewTable("SET per-module vulnerability map",
 		"Bench", "Design", "Module", "Sites", "Injected", "Masked", "Latched", "Visible")
+	thrT := report.NewTable("Campaign throughput",
+		"Bench", "Injections", "Sim passes", "Lanes/batch", "Elapsed", "Inj/s")
+	var total throughput
 	bad := 0
 	var violations []string
 	for _, b := range list {
@@ -162,6 +172,7 @@ func run(ctx context.Context, list []*bench.Benchmark, cfg campaignConfig) error
 			rep = res.Resilience
 		}
 
+		var thr throughput
 		claimed, err := faultinject.StuckAtClaimed(ctx, res.BaselineCore, prog, w, res.Analysis, cfg.opts)
 		if err != nil {
 			return fmt.Errorf("%s: claimed campaign: %w", b.Name, err)
@@ -194,6 +205,11 @@ func run(ctx context.Context, list []*bench.Benchmark, cfg campaignConfig) error
 			fmt.Sprint(bDffs), fmt.Sprint(sDffs),
 			vuln(seuBase), vuln(seuBesp))
 
+		thr.add(claimed, opposite, seuBase, seuBesp)
+		total.add(claimed, opposite, seuBase, seuBesp)
+		thrT.AddRow(b.Name, fmt.Sprint(thr.injections), fmt.Sprint(thr.batches),
+			fmt.Sprint(thr.lanes), fmt.Sprintf("%.2fs", thr.elapsed.Seconds()), thr.rate())
+
 		if rep != nil {
 			setT.AddRow(b.Name,
 				fmt.Sprint(rep.Baseline.Sites), fmt.Sprint(rep.Bespoke.Sites),
@@ -219,6 +235,13 @@ func run(ctx context.Context, list []*bench.Benchmark, cfg campaignConfig) error
 	if cfg.showMap && len(modT.Rows) > 0 {
 		render(modT)
 	}
+	render(thrT)
+	backend := "bit-parallel"
+	if cfg.opts.Scalar {
+		backend = "scalar"
+	}
+	fmt.Printf("\n%s backend: %d injections across %d simulator passes (%d lanes/batch) in %.2fs — %s injections/sec\n",
+		backend, total.injections, total.batches, total.lanes, total.elapsed.Seconds(), total.rate())
 	if bad > 0 {
 		return fmt.Errorf("%d benchmark(s) had claimed-constant divergence: the analysis is unsound", bad)
 	}
@@ -238,6 +261,33 @@ func addModuleRows(t *report.Table, benchName, design string, mods []core.Module
 			fmt.Sprint(m.Sites), fmt.Sprint(m.Injected),
 			fmt.Sprint(m.Masked), fmt.Sprint(m.Latched), fmt.Sprint(m.Visible))
 	}
+}
+
+// throughput aggregates campaign-level injection performance.
+type throughput struct {
+	injections int
+	batches    int
+	lanes      int
+	elapsed    time.Duration
+}
+
+func (t *throughput) add(reps ...*faultinject.Report) {
+	for _, r := range reps {
+		t.injections += r.Injected
+		t.batches += r.Batches
+		if r.LanesPerBatch > t.lanes {
+			t.lanes = r.LanesPerBatch
+		}
+		t.elapsed += r.Elapsed
+	}
+}
+
+// rate formats injections per second of injection wall-clock time.
+func (t *throughput) rate() string {
+	if t.elapsed <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f", float64(t.injections)/t.elapsed.Seconds())
 }
 
 // vuln formats the fraction of SEU injections that were not masked.

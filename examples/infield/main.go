@@ -30,7 +30,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sup, err := mutate.CheckSupport(context.Background(), b, app, muts, symexec.Options{})
+	sup, err := mutate.CheckSupport(context.Background(), b, app, muts, mutate.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

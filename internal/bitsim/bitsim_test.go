@@ -1,0 +1,348 @@
+package bitsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"bespoke/internal/logic"
+	"bespoke/internal/netlist"
+	"bespoke/internal/sim"
+)
+
+// TestWordOpsMatchKindEval exhaustively checks every combinational kind
+// against netlist.Kind.Eval: all 27 three-valued input combinations are
+// packed into lanes (with the remaining lanes holding random repeats)
+// and evaluated through the real dispatch path.
+func TestWordOpsMatchKindEval(t *testing.T) {
+	kinds := []netlist.Kind{
+		netlist.Buf, netlist.Not, netlist.And, netlist.Or, netlist.Nand,
+		netlist.Nor, netlist.Xor, netlist.Xnor, netlist.Mux,
+		netlist.Const0, netlist.Const1,
+	}
+	vals := [...]logic.V{logic.Zero, logic.One, logic.X}
+	r := rand.New(rand.NewSource(1))
+	for _, k := range kinds {
+		n := netlist.New()
+		a := n.Add(netlist.Gate{Kind: netlist.Input})
+		b := n.Add(netlist.Gate{Kind: netlist.Input})
+		sel := n.Add(netlist.Gate{Kind: netlist.Input})
+		g := netlist.Gate{Kind: k}
+		switch k.NumInputs() {
+		case 3:
+			g.In = [3]netlist.GateID{a, b, sel}
+		case 2:
+			g.In = [3]netlist.GateID{a, b, netlist.None}
+		case 1:
+			g.In = [3]netlist.GateID{a, netlist.None, netlist.None}
+		default:
+			g.In = [3]netlist.GateID{netlist.None, netlist.None, netlist.None}
+		}
+		out := n.Add(g)
+		n.MarkOutput("o", out)
+		s, err := New(n)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		s.Reset()
+
+		// Lane l holds combo l%27 for the first 27 lanes and random
+		// combos beyond, so plane logic is exercised across the full
+		// word, not just the low bits.
+		var combos [Lanes][3]logic.V
+		var wa, wb, wsel W
+		for l := 0; l < Lanes; l++ {
+			var c [3]logic.V
+			if l < 27 {
+				c = [3]logic.V{vals[l%3], vals[(l/3)%3], vals[(l/9)%3]}
+			} else {
+				c = [3]logic.V{vals[r.Intn(3)], vals[r.Intn(3)], vals[r.Intn(3)]}
+			}
+			combos[l] = c
+			wa = wa.SetLane(l, c[0])
+			wb = wb.SetLane(l, c[1])
+			wsel = wsel.SetLane(l, c[2])
+		}
+		s.Drive(a, wa)
+		s.Drive(b, wb)
+		s.Drive(sel, wsel)
+		s.Settle()
+		got := s.Val[out]
+		if got.V&^got.D != 0 {
+			t.Fatalf("%v: non-canonical output word V=%#x D=%#x", k, got.V, got.D)
+		}
+		for l := 0; l < Lanes; l++ {
+			c := combos[l]
+			want := k.Eval(c[0], c[1], c[2])
+			if gv := got.Lane(l); gv != want {
+				t.Fatalf("%v(%v,%v,%v) lane %d = %v, want %v", k, c[0], c[1], c[2], l, gv, want)
+			}
+		}
+	}
+}
+
+// randomSeqCircuit mirrors the scalar engine's random-test generator:
+// combinational logic with feedback through registers only.
+func randomSeqCircuit(r *rand.Rand, nIn, nGates, nFF int) (*netlist.Netlist, []netlist.GateID, []netlist.GateID) {
+	n := netlist.New()
+	var nets []netlist.GateID
+	nets = append(nets,
+		n.Add(netlist.Gate{Kind: netlist.Const0}),
+		n.Add(netlist.Gate{Kind: netlist.Const1}),
+	)
+	var ins, ffs []netlist.GateID
+	for i := 0; i < nIn; i++ {
+		id := n.Add(netlist.Gate{Kind: netlist.Input})
+		ins = append(ins, id)
+		nets = append(nets, id)
+	}
+	for i := 0; i < nFF; i++ {
+		rv := logic.V(r.Intn(2))
+		id := n.Add(netlist.Gate{Kind: netlist.Dff, Reset: rv})
+		ffs = append(ffs, id)
+		nets = append(nets, id)
+	}
+	kinds := []netlist.Kind{
+		netlist.Not, netlist.And, netlist.Or, netlist.Nand,
+		netlist.Nor, netlist.Xor, netlist.Xnor, netlist.Mux, netlist.Buf,
+	}
+	for i := 0; i < nGates; i++ {
+		k := kinds[r.Intn(len(kinds))]
+		g := netlist.Gate{Kind: k}
+		for p := 0; p < k.NumInputs(); p++ {
+			g.In[p] = nets[r.Intn(len(nets))]
+		}
+		nets = append(nets, n.Add(g))
+	}
+	for _, ff := range ffs {
+		n.Gates[ff].In[0] = nets[r.Intn(len(nets))]
+	}
+	for i := 0; i < 4; i++ {
+		n.MarkOutput("o", nets[len(nets)-1-r.Intn(nGates/2+1)])
+	}
+	return n, ins, ffs
+}
+
+// TestLanesMatchScalarSim packs 64 independent scalar simulations into
+// one batched instance: every lane gets its own random three-valued
+// stimulus sequence, and every net must match the corresponding scalar
+// sim.Sim on every cycle. This is the engine-level lane-extraction
+// oracle.
+func TestLanesMatchScalarSim(t *testing.T) {
+	seeds := int64(12)
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := int64(0); seed < seeds; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		n, ins, ffs := randomSeqCircuit(r, 5, 80, 8)
+		_ = ffs
+		bs, err := New(n)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		bs.Reset()
+		scalars := make([]*sim.Sim, Lanes)
+		for l := range scalars {
+			s, err := sim.New(n)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			s.Reset()
+			scalars[l] = s
+		}
+
+		for cycle := 0; cycle < 20; cycle++ {
+			for _, in := range ins {
+				var w W
+				for l := 0; l < Lanes; l++ {
+					v := logic.V(r.Intn(3))
+					w = w.SetLane(l, v)
+					scalars[l].Drive(in, v)
+				}
+				bs.Drive(in, w)
+			}
+			bs.Settle()
+			for l := range scalars {
+				scalars[l].Settle()
+			}
+			for g := range n.Gates {
+				w := bs.Val[g]
+				if w.V&^w.D != 0 {
+					t.Fatalf("seed %d cycle %d gate %d: non-canonical word", seed, cycle, g)
+				}
+				for l := range scalars {
+					if got, want := w.Lane(l), scalars[l].Val[g]; got != want {
+						t.Fatalf("seed %d cycle %d gate %d (%v) lane %d: batched %v, scalar %v",
+							seed, cycle, g, n.Gates[g].Kind, l, got, want)
+					}
+				}
+			}
+			bs.Edge()
+			for l := range scalars {
+				scalars[l].Edge()
+			}
+		}
+	}
+}
+
+// TestForceLaneMatchesStuckAtRewrite checks that a per-lane force is
+// observationally identical to the scalar campaign's netlist rewrite
+// (gate replaced by a constant) in that lane, while other lanes stay
+// bit-identical to the clean scalar run.
+func TestForceLaneMatchesStuckAtRewrite(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		r := rand.New(rand.NewSource(100 + seed))
+		n, ins, _ := randomSeqCircuit(r, 4, 60, 6)
+
+		// Pick a combinational force site.
+		var site netlist.GateID = netlist.None
+		for i := range n.Gates {
+			k := n.Gates[i].Kind
+			if !k.IsSeq() && k.NumInputs() > 0 {
+				site = netlist.GateID(i)
+			}
+		}
+		if site == netlist.None {
+			t.Fatal("no combinational site")
+		}
+		const lane = 7
+		forced := logic.V(r.Intn(2))
+
+		bs, err := New(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := bs.ForceLane(site, lane, forced); err != nil {
+			t.Fatal(err)
+		}
+		bs.Reset()
+
+		clean, err := sim.New(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clean.Reset()
+
+		// Scalar stuck-at: rewrite a clone of the netlist.
+		nf := n.Clone()
+		k := netlist.Const0
+		if forced == logic.One {
+			k = netlist.Const1
+		}
+		nf.Gates[site].Kind = k
+		nf.Gates[site].In = [3]netlist.GateID{netlist.None, netlist.None, netlist.None}
+		nf.InvalidateDerived()
+		faulty, err := sim.New(nf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		faulty.Reset()
+
+		for cycle := 0; cycle < 20; cycle++ {
+			for _, in := range ins {
+				v := logic.V(r.Intn(3))
+				bs.Drive(in, Splat(v))
+				clean.Drive(in, v)
+				faulty.Drive(in, v)
+			}
+			bs.Settle()
+			clean.Settle()
+			faulty.Settle()
+			for g := range n.Gates {
+				w := bs.Val[g]
+				for l := 0; l < Lanes; l++ {
+					want := clean.Val[g]
+					if l == lane {
+						want = faulty.Val[g]
+					}
+					if got := w.Lane(l); got != want {
+						t.Fatalf("seed %d cycle %d gate %d lane %d: batched %v, scalar %v",
+							seed, cycle, g, l, got, want)
+					}
+				}
+			}
+			bs.Edge()
+			clean.Edge()
+			faulty.Edge()
+		}
+	}
+}
+
+// TestInjectPulseLaneMatchesScalar checks the SET pulse lane semantics
+// against sim.InjectPulse: strike the same gate at the same point, and
+// the struck lane must track the scalar faulty run (including the heal
+// at the edge) while other lanes track the clean run.
+func TestInjectPulseLaneMatchesScalar(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		r := rand.New(rand.NewSource(200 + seed))
+		n, ins, _ := randomSeqCircuit(r, 4, 60, 6)
+		var site netlist.GateID = netlist.None
+		for i := range n.Gates {
+			k := n.Gates[i].Kind
+			if !k.IsSeq() && k.NumInputs() > 0 {
+				site = netlist.GateID(i)
+			}
+		}
+		const lane = 42
+		strikeCycle := 3 + int(r.Int63n(5))
+
+		bs, err := New(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bs.Reset()
+		clean, err := sim.New(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clean.Reset()
+		faulty, err := sim.New(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		faulty.Reset()
+
+		for cycle := 0; cycle < 20; cycle++ {
+			for _, in := range ins {
+				v := logic.V(r.Intn(3))
+				bs.Drive(in, Splat(v))
+				clean.Drive(in, v)
+				faulty.Drive(in, v)
+			}
+			bs.Settle()
+			clean.Settle()
+			faulty.Settle()
+			if cycle == strikeCycle {
+				bv, err := bs.InjectPulseLane(site, lane)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sv, err := faulty.InjectPulse(site)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if bv != sv {
+					t.Fatalf("seed %d: pulse drove %v, scalar %v", seed, bv, sv)
+				}
+				bs.Settle()
+				faulty.Settle()
+			}
+			for g := range n.Gates {
+				w := bs.Val[g]
+				for l := 0; l < Lanes; l++ {
+					want := clean.Val[g]
+					if l == lane {
+						want = faulty.Val[g]
+					}
+					if got := w.Lane(l); got != want {
+						t.Fatalf("seed %d cycle %d gate %d lane %d: batched %v, scalar %v",
+							seed, cycle, g, l, got, want)
+					}
+				}
+			}
+			bs.Edge()
+			clean.Edge()
+			faulty.Edge()
+		}
+	}
+}

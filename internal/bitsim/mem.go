@@ -1,0 +1,446 @@
+// Lane-aware memory macros. The RAM stores its contents in plane form —
+// words[i][b] is bit b of word i across all 64 lanes — so the common
+// lockstep case (all lanes reading/writing the same known address)
+// costs one plane copy per bit, and diverged lanes fall back to a
+// per-lane path that reproduces the scalar RAM's conservative X
+// semantics exactly: an X address reads all-X, a possible write (X
+// write-enable) merges, a write to an unknown address merges into every
+// reachable word. The ROM keeps one concrete image per lane, aliasing a
+// shared base image until a lane is given its own program (mutant
+// packing), so the uniform case stays a single-word broadcast.
+package bitsim
+
+import (
+	"bespoke/internal/logic"
+	"bespoke/internal/netlist"
+)
+
+// uniformKnown reports whether every lane of w holds the same known
+// value, and that value.
+func uniformKnown(w W) (logic.V, bool) {
+	if w.D != ^uint64(0) {
+		return logic.X, false
+	}
+	switch w.V {
+	case 0:
+		return logic.Zero, true
+	case ^uint64(0):
+		return logic.One, true
+	}
+	return logic.X, false
+}
+
+// allX reports whether every lane of w is undefined.
+func allX(w W) bool { return w.D == 0 }
+
+// laneWord extracts lane l of a 16-bit bus whose planes are in p.
+func laneWord(p []W, l int) logic.Word {
+	var w logic.Word
+	for i := range p {
+		w = w.SetBit(uint(i), p[i].Lane(l))
+	}
+	return w
+}
+
+// ROM is the lane-aware asynchronous-read program memory: concrete
+// contents per lane, aliased to a shared base image until a lane is
+// customized with its own program.
+type ROM struct {
+	addr  []netlist.GateID
+	rdata []netlist.GateID
+	en    netlist.GateID
+
+	base    []uint16
+	lanes   [Lanes][]uint16 // each aliases base until customized
+	uniform bool
+
+	in []W // scratch: addr planes
+}
+
+// NewROM builds a lane-aware ROM bound to the same pins as the scalar
+// macro, with all lanes sharing a zeroed base image.
+func NewROM(scalar interface {
+	Pins() (addr, rdata []netlist.GateID, en netlist.GateID)
+	Words() []uint16
+}) *ROM {
+	addr, rdata, en := scalar.Pins()
+	r := &ROM{
+		addr: addr, rdata: rdata, en: en,
+		base:    make([]uint16, len(scalar.Words())),
+		uniform: true,
+		in:      make([]W, len(addr)),
+	}
+	for l := range r.lanes {
+		r.lanes[l] = r.base
+	}
+	return r
+}
+
+// LoadProgram writes an image into the shared base (all lanes that still
+// alias it), mirroring cpu.LoadProgram's byte packing.
+func (r *ROM) LoadProgram(image []byte, loadAddr, romStart uint16) {
+	loadInto(r.base, image, loadAddr, romStart)
+}
+
+// LoadLaneProgram gives lane l a private copy of the base image with the
+// given program loaded over it (mutant packing: every lane runs its own
+// binary on the shared netlist).
+func (r *ROM) LoadLaneProgram(l int, image []byte, loadAddr, romStart uint16) {
+	words := append([]uint16(nil), r.base...)
+	loadInto(words, image, loadAddr, romStart)
+	r.lanes[l] = words
+	r.uniform = false
+}
+
+func loadInto(words []uint16, image []byte, loadAddr, romStart uint16) {
+	for i := 0; i+1 < len(image); i += 2 {
+		a := loadAddr + uint16(i)
+		words[(a-romStart)/2] = uint16(image[i]) | uint16(image[i+1])<<8
+	}
+	if len(image)%2 == 1 {
+		a := loadAddr + uint16(len(image)) - 1
+		w := words[(a-romStart)/2]
+		words[(a-romStart)/2] = w&0xFF00 | uint16(image[len(image)-1])
+	}
+}
+
+// LaneWord returns word index i of lane l's image.
+func (r *ROM) LaneWord(l int, i uint16) uint16 { return r.lanes[l][i] }
+
+// Inputs implements Block.
+func (r *ROM) Inputs() []netlist.GateID {
+	return append(append([]netlist.GateID(nil), r.addr...), r.en)
+}
+
+// Outputs implements Block.
+func (r *ROM) Outputs() []netlist.GateID { return r.rdata }
+
+// Eval implements Block: combinational read across all lanes.
+func (r *ROM) Eval(s *Sim) {
+	en := s.Val[r.en]
+	for i, id := range r.addr {
+		r.in[i] = s.Val[id]
+	}
+	if ev, ok := uniformKnown(en); ok {
+		if ev == logic.Zero {
+			r.driveOut(s, func(int) logic.Word { return logic.KnownWord(0) }, true)
+			return
+		}
+		if r.uniform {
+			uni := true
+			var a uint16
+			for i := range r.in {
+				bv, bok := uniformKnown(r.in[i])
+				if !bok {
+					uni = false
+					break
+				}
+				if bv == logic.One {
+					a |= 1 << uint(i)
+				}
+			}
+			if uni {
+				r.driveOut(s, func(int) logic.Word { return logic.KnownWord(r.base[a]) }, true)
+				return
+			}
+		}
+	}
+	r.driveOut(s, func(l int) logic.Word {
+		switch s.Val[r.en].Lane(l) {
+		case logic.Zero:
+			return logic.KnownWord(0)
+		case logic.X:
+			return logic.XWord
+		}
+		a := laneWord(r.in, l)
+		if !a.Known() {
+			return logic.XWord
+		}
+		return logic.KnownWord(r.lanes[l][a.Val])
+	}, false)
+}
+
+// driveOut assembles per-lane words into output planes and drives them.
+// When broadcast is set, word(0) applies to every lane.
+func (r *ROM) driveOut(s *Sim, word func(l int) logic.Word, broadcast bool) {
+	var outV, outD [16]uint64
+	if broadcast {
+		w := word(0)
+		for b := range r.rdata {
+			outV[b] = Splat(w.Bit(uint(b))).V
+			outD[b] = Splat(w.Bit(uint(b))).D
+		}
+	} else {
+		for l := 0; l < Lanes; l++ {
+			w := word(l)
+			bit := uint64(1) << uint(l)
+			for b := range r.rdata {
+				switch w.Bit(uint(b)) {
+				case logic.One:
+					outV[b] |= bit
+					outD[b] |= bit
+				case logic.Zero:
+					outD[b] |= bit
+				}
+			}
+		}
+	}
+	for b, id := range r.rdata {
+		s.BlockDrive(id, W{outV[b], outD[b]})
+	}
+}
+
+// Clock implements Block (no-op: read-only).
+func (r *ROM) Clock(*Sim) {}
+
+// Reset implements Block (contents persist: mask ROM).
+func (r *ROM) Reset(*Sim) {}
+
+// RAM is the lane-aware data memory. Contents are stored as bit planes
+// per word; power-on state is all-X in every lane.
+type RAM struct {
+	addr  []netlist.GateID
+	wdata []netlist.GateID
+	rdata []netlist.GateID
+	en    netlist.GateID
+	wenLo netlist.GateID
+	wenHi netlist.GateID
+
+	words [][16]W
+
+	ain, din []W // scratch: addr and wdata planes
+}
+
+// NewRAM builds a lane-aware RAM bound to the same pins as the scalar
+// macro.
+func NewRAM(scalar interface {
+	Pins() (addr, wdata, rdata []netlist.GateID, en, wenLo, wenHi netlist.GateID)
+	Size() int
+}) *RAM {
+	addr, wdata, rdata, en, wenLo, wenHi := scalar.Pins()
+	return &RAM{
+		addr: addr, wdata: wdata, rdata: rdata,
+		en: en, wenLo: wenLo, wenHi: wenHi,
+		words: make([][16]W, scalar.Size()),
+		ain:   make([]W, len(addr)),
+		din:   make([]W, len(wdata)),
+	}
+}
+
+// SetLaneWord overwrites word index i in lane l only (per-lane workload
+// preloading).
+func (r *RAM) SetLaneWord(l int, i uint16, w logic.Word) {
+	for b := 0; b < 16; b++ {
+		r.words[i][b] = r.words[i][b].SetLane(l, w.Bit(uint(b)))
+	}
+}
+
+// LaneWord reads word index i of lane l.
+func (r *RAM) LaneWord(l int, i uint16) logic.Word {
+	var w logic.Word
+	for b := 0; b < 16; b++ {
+		w = w.SetBit(uint(b), r.words[i][b].Lane(l))
+	}
+	return w
+}
+
+// Inputs implements Block.
+func (r *RAM) Inputs() []netlist.GateID {
+	in := append([]netlist.GateID(nil), r.addr...)
+	in = append(in, r.wdata...)
+	return append(in, r.en, r.wenLo, r.wenHi)
+}
+
+// Outputs implements Block.
+func (r *RAM) Outputs() []netlist.GateID { return r.rdata }
+
+// Eval implements Block: combinational read.
+func (r *RAM) Eval(s *Sim) {
+	en := s.Val[r.en]
+	for i, id := range r.addr {
+		r.ain[i] = s.Val[id]
+	}
+	var outV, outD [16]uint64
+	ev, eok := uniformKnown(en)
+	if eok && ev == logic.Zero {
+		for b := range outD {
+			outD[b] = ^uint64(0)
+		}
+		r.driveOut(s, &outV, &outD)
+		return
+	}
+	if eok && ev == logic.One {
+		uni := true
+		var a uint16
+		for i := range r.ain {
+			bv, bok := uniformKnown(r.ain[i])
+			if !bok {
+				uni = false
+				break
+			}
+			if bv == logic.One {
+				a |= 1 << uint(i)
+			}
+		}
+		if uni {
+			w := &r.words[a]
+			for b := range r.rdata {
+				outV[b] = w[b].V
+				outD[b] = w[b].D
+			}
+			r.driveOut(s, &outV, &outD)
+			return
+		}
+	}
+	// Per-lane slow path: some lane has an X enable or the addresses
+	// diverged.
+	for l := 0; l < Lanes; l++ {
+		bit := uint64(1) << uint(l)
+		switch en.Lane(l) {
+		case logic.Zero:
+			for b := range outD {
+				outD[b] |= bit // known zero
+			}
+			continue
+		case logic.X:
+			continue // all-X read
+		}
+		a := laneWord(r.ain, l)
+		if !a.Known() {
+			continue // X address: all-X read
+		}
+		w := &r.words[a.Val]
+		for b := range r.rdata {
+			outV[b] |= w[b].V & bit
+			outD[b] |= w[b].D & bit
+		}
+	}
+	r.driveOut(s, &outV, &outD)
+}
+
+func (r *RAM) driveOut(s *Sim, outV, outD *[16]uint64) {
+	for b, id := range r.rdata {
+		s.BlockDrive(id, W{outV[b], outD[b]})
+	}
+}
+
+// Clock implements Block: commit writes from settled pin values,
+// per-lane, with the scalar RAM's conservative merge semantics.
+func (r *RAM) Clock(s *Sim) {
+	wl, wh := s.Val[r.wenLo], s.Val[r.wenHi]
+	en := s.Val[r.en]
+	// No lane can write: both enables known-zero everywhere, or the
+	// select known-zero everywhere.
+	if (wl.D == ^uint64(0) && wl.V == 0 && wh.D == ^uint64(0) && wh.V == 0) ||
+		(en.D == ^uint64(0) && en.V == 0) {
+		return
+	}
+	for i, id := range r.addr {
+		r.ain[i] = s.Val[id]
+	}
+	for i, id := range r.wdata {
+		r.din[i] = s.Val[id]
+	}
+
+	// Lockstep fast path: every control pin and the address are uniform
+	// and known, so one plane-level write covers all lanes at once (the
+	// data planes themselves may still differ per lane).
+	wlv, wlok := uniformKnown(wl)
+	whv, whok := uniformKnown(wh)
+	env, enok := uniformKnown(en)
+	if wlok && whok && enok {
+		if env == logic.Zero || (wlv == logic.Zero && whv == logic.Zero) {
+			return
+		}
+		uni := true
+		var a uint16
+		for i := range r.ain {
+			bv, bok := uniformKnown(r.ain[i])
+			if !bok {
+				uni = false
+				break
+			}
+			if bv == logic.One {
+				a |= 1 << uint(i)
+			}
+		}
+		if uni {
+			w := &r.words[a]
+			if wlv == logic.One {
+				for b := 0; b < 8; b++ {
+					w[b] = r.din[b]
+				}
+			}
+			if whv == logic.One {
+				for b := 8; b < 16; b++ {
+					w[b] = r.din[b]
+				}
+			}
+			return
+		}
+	}
+
+	// Per-lane slow path.
+	for l := 0; l < Lanes; l++ {
+		wlL, whL := wl.Lane(l), wh.Lane(l)
+		if wlL == logic.Zero && whL == logic.Zero {
+			continue
+		}
+		enL := en.Lane(l)
+		if enL == logic.Zero {
+			continue
+		}
+		data := laneWord(r.din, l)
+		a := laneWord(r.ain, l)
+		write := func(old logic.Word) logic.Word {
+			nw := old
+			if wlL != logic.Zero {
+				nw = mergeLane(nw, data, 0, wlL == logic.One && enL == logic.One)
+			}
+			if whL != logic.Zero {
+				nw = mergeLane(nw, data, 8, whL == logic.One && enL == logic.One)
+			}
+			return nw
+		}
+		if a.Known() {
+			r.setLane(a.Val, l, write(r.LaneWord(l, a.Val)))
+			continue
+		}
+		// Unknown address: merge into every word the partially-known
+		// address could reach, exactly like the scalar RAM.
+		for i := range r.words {
+			if (a.Val^uint16(i))&^a.Mask == 0 {
+				old := r.LaneWord(l, uint16(i))
+				r.setLane(uint16(i), l, old.Merge(write(old)))
+			}
+		}
+	}
+}
+
+func (r *RAM) setLane(i uint16, l int, w logic.Word) {
+	for b := 0; b < 16; b++ {
+		r.words[i][b] = r.words[i][b].SetLane(l, w.Bit(uint(b)))
+	}
+}
+
+// mergeLane writes one byte lane of data into w; a possible write merges
+// conservatively (same helper as the scalar RAM).
+func mergeLane(w, data logic.Word, shift uint, definite bool) logic.Word {
+	for i := uint(0); i < 8; i++ {
+		bit := shift + i
+		v := data.Bit(bit)
+		if definite {
+			w = w.SetBit(bit, v)
+		} else {
+			w = w.SetBit(bit, logic.Merge(w.Bit(bit), v))
+		}
+	}
+	return w
+}
+
+// Reset implements Block: all words become X in every lane.
+func (r *RAM) Reset(*Sim) {
+	for i := range r.words {
+		r.words[i] = [16]W{}
+	}
+}

@@ -1,0 +1,213 @@
+// The batched campaign backend: 63 faulty worlds plus one golden lane
+// per bitsim instance. Lane 0 always re-runs the fault-free workload and
+// must reproduce the golden reference bit-exactly — a cheap per-batch
+// guard that the bit-parallel engine agrees with the scalar one before
+// any fault outcome is trusted. Fault lanes are classified with exactly
+// the scalar injectOne rules; faults the engine cannot host in a lane
+// (an SEU aimed at a non-flip-flop, which the scalar path classifies by
+// recovering the simulation panic) fall back to the scalar path so the
+// two backends stay outcome-identical on any input.
+package faultinject
+
+import (
+	"context"
+	"fmt"
+
+	"bespoke/internal/asm"
+	"bespoke/internal/bitsim"
+	"bespoke/internal/core"
+	"bespoke/internal/cpu"
+	"bespoke/internal/logic"
+	"bespoke/internal/netlist"
+	"bespoke/internal/parallel"
+)
+
+// faultLanes is the number of faulty worlds per instance; lane 0 is the
+// golden lane.
+const faultLanes = bitsim.Lanes - 1
+
+// runCampaignBatched fans the fault list out in chunks of 63, one batch
+// per simulator instance, over the shared worker pool. Outcomes land in
+// the same per-index slice the scalar backend fills.
+func runCampaignBatched(ctx context.Context, c *cpu.Core, prog *asm.Program, w *core.Workload, g *Golden, faults []Fault, opts Options) ([]*Result, int, error) {
+	outcomes := make([]*Result, len(faults))
+	nBatch := (len(faults) + faultLanes - 1) / faultLanes
+	err := parallel.ForEach(ctx, opts.Workers, nBatch, func(bi int) error {
+		lo := bi * faultLanes
+		hi := min(lo+faultLanes, len(faults))
+		return injectBatch(ctx, c, prog, w, g, faults[lo:hi], outcomes[lo:hi], opts)
+	})
+	return outcomes, nBatch, err
+}
+
+// strike is one mid-run injection bound to its lane.
+type strike struct {
+	lane int // harness lane
+	ci   int // index into the batch's chunk
+	f    Fault
+}
+
+// injectBatch runs one chunk of up to 63 faults on a single bitsim
+// instance and classifies every lane. out[i] receives chunk[i]'s result.
+func injectBatch(ctx context.Context, c *cpu.Core, prog *asm.Program, w *core.Workload, g *Golden, chunk []Fault, out []*Result, opts Options) error {
+	h, err := bitsim.NewHarness(c, prog, len(chunk)+1)
+	if err != nil {
+		return err
+	}
+	s := h.S
+
+	// Configure lanes: lane 0 is golden, fault i lives in lane i+1.
+	// Stuck-ats are validated and pinned now; SEU/SET strikes are
+	// scheduled by cycle for the hook.
+	byCycle := map[uint64][]strike{}
+	var fallback []int
+	for ci := range chunk {
+		f := chunk[ci]
+		lane := ci + 1
+		switch {
+		case f.Pulse:
+			if int(f.Gate) < 0 || int(f.Gate) >= len(c.N.Gates) {
+				return fmt.Errorf("faultinject: gate %d out of range", f.Gate)
+			}
+			if k := c.N.Gates[f.Gate].Kind; k.IsSeq() || k.NumInputs() == 0 {
+				return fmt.Errorf("faultinject: gate %d (%s) is not a combinational SET site", f.Gate, k)
+			}
+			byCycle[f.Cycle] = append(byCycle[f.Cycle], strike{lane, ci, f})
+		case f.Transient:
+			if int(f.Gate) < 0 || int(f.Gate) >= len(c.N.Gates) || c.N.Gates[f.Gate].Kind != netlist.Dff {
+				// The scalar path classifies this by recovering the
+				// simulation panic; reproduce its outcome scalar-ly.
+				fallback = append(fallback, ci)
+				continue
+			}
+			byCycle[f.Cycle] = append(byCycle[f.Cycle], strike{lane, ci, f})
+		default:
+			if int(f.Gate) < 0 || int(f.Gate) >= len(c.N.Gates) {
+				return fmt.Errorf("faultinject: gate %d out of range", f.Gate)
+			}
+			switch k := c.N.Gates[f.Gate].Kind; k {
+			case netlist.Input, netlist.Const0, netlist.Const1:
+				return fmt.Errorf("faultinject: gate %d (%s) is not a fault site", f.Gate, k)
+			}
+			v := logic.Zero // the scalar rewrite maps anything but One to Const0
+			if f.StuckAt == logic.One {
+				v = logic.One
+			}
+			if err := s.ForceLane(f.Gate, lane, v); err != nil {
+				return err
+			}
+		}
+	}
+
+	latched := make([]bool, len(chunk))
+	var before, after []bitsim.W
+	hook := func(h *bitsim.Harness) {
+		ss := byCycle[h.Cycles()]
+		if len(ss) == 0 {
+			return
+		}
+		live := h.Live()
+		var pulses []strike
+		for _, st := range ss {
+			if live>>uint(st.lane)&1 == 0 {
+				continue // the lane retired before its strike cycle
+			}
+			if st.f.Transient {
+				flip := logic.One
+				if h.S.Val[st.f.Gate].Lane(st.lane) == logic.One {
+					flip = logic.Zero
+				}
+				h.S.ForceDffLane(st.f.Gate, st.lane, flip)
+				continue
+			}
+			pulses = append(pulses, st)
+		}
+		if len(pulses) == 0 {
+			return
+		}
+		// SET: settle the fault-free cycle, snapshot the D pins, strike
+		// every pulsed lane, resettle, and compare per lane — the scalar
+		// latch classifier, word-at-a-time.
+		h.S.Settle()
+		before = h.S.DffDSnapshotPlanes(before)
+		for _, st := range pulses {
+			if _, err := h.S.InjectPulseLane(st.f.Gate, st.lane); err != nil {
+				return // unreachable: sites were validated above
+			}
+		}
+		h.S.Settle()
+		after = h.S.DffDSnapshotPlanes(after)
+		for _, st := range pulses {
+			for i := range before {
+				if before[i].Lane(st.lane) != after[i].Lane(st.lane) {
+					latched[st.ci] = true
+					break
+				}
+			}
+		}
+	}
+
+	maxC := opts.MaxCycles
+	if maxC == 0 {
+		maxC = 2*g.Cycles + 1024
+	}
+	ws := make([]*core.Workload, len(chunk)+1)
+	goldenW := core.Workload{}
+	faultW := core.Workload{MaxCycles: maxC}
+	if w != nil {
+		goldenW = *w
+		faultW.RAM, faultW.P1, faultW.IRQ = w.RAM, w.P1, w.IRQ
+	}
+	ws[0] = &goldenW
+	for ci := range chunk {
+		ws[ci+1] = &faultW
+	}
+	if err := h.Run(ctx, ws, hook); err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return fmt.Errorf("faultinject: campaign aborted: %w", cerr)
+		}
+		return err
+	}
+
+	// The golden lane is the engine guard: any deviation from the scalar
+	// golden reference is a simulator bug, not a fault effect.
+	gl := h.Lane[0]
+	if gl.Status != bitsim.LaneHalted || gl.Cycles != g.Cycles || diffOuts(g.Out, gl.Out) != "" {
+		return fmt.Errorf("faultinject: golden lane diverged from the scalar reference (%s after %d cycles, golden halted at %d): batched engine bug",
+			gl.Status, gl.Cycles, g.Cycles)
+	}
+
+	for ci := range chunk {
+		lane := h.Lane[ci+1]
+		f := chunk[ci]
+		var res Result
+		switch lane.Status {
+		case bitsim.LaneHalted:
+			switch d := diffOuts(g.Out, lane.Out); {
+			case d != "":
+				res = Result{Fault: f, Outcome: SDC, Detail: d}
+			case lane.Cycles != g.Cycles:
+				res = Result{Fault: f, Outcome: SDC,
+					Detail: fmt.Sprintf("halted at cycle %d, golden %d", lane.Cycles, g.Cycles)}
+			case latched[ci]:
+				res = Result{Fault: f, Outcome: Latched,
+					Detail: "corrupted flip-flop state at the strike edge, architecturally silent"}
+			default:
+				res = Result{Fault: f, Outcome: Masked}
+			}
+		default: // poisoned or over budget: the scalar run errors out
+			res = Result{Fault: f, Outcome: Hang, Detail: truncate(lane.Detail)}
+		}
+		out[ci] = &res
+	}
+
+	// Faults the batch could not host run one-at-a-time on a clone.
+	for _, ci := range fallback {
+		res, err := injectOne(ctx, c.Clone(), prog, w, g, chunk[ci], opts)
+		if err != nil {
+			return err
+		}
+		out[ci] = &res
+	}
+	return nil
+}

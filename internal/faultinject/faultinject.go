@@ -33,9 +33,11 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"bespoke/internal/asm"
 	"bespoke/internal/bench"
+	"bespoke/internal/bitsim"
 	"bespoke/internal/core"
 	"bespoke/internal/cpu"
 	"bespoke/internal/isasim"
@@ -138,6 +140,18 @@ type Report struct {
 	// including masked ones, so callers can aggregate outcomes by fault
 	// site (e.g. per-module vulnerability maps).
 	Results []Result
+
+	// Batches is the number of simulator instances the campaign built:
+	// ceil(faults/63) for the batched backend, one per fault for the
+	// scalar backend.
+	Batches int
+	// LanesPerBatch is each instance's world capacity: 64 for the
+	// batched backend (63 faults plus a golden guard lane), 1 for the
+	// scalar backend.
+	LanesPerBatch int
+	// Elapsed is the injection phase's wall-clock time (the golden
+	// reference run is excluded).
+	Elapsed time.Duration
 }
 
 // Divergent is the number of injections whose behavior differed from the
@@ -158,6 +172,12 @@ type Options struct {
 	// MaxCycles bounds each faulty run. 0 derives a bound from the
 	// golden run (2x golden cycles + slack), so hung runs terminate.
 	MaxCycles uint64
+	// Scalar forces the one-run-per-fault backend (each worker owning a
+	// private clone of the design) instead of the default bit-parallel
+	// backend that settles 63 faulty worlds plus a golden guard lane per
+	// simulator pass. Outcomes are identical either way; the scalar
+	// backend remains as the cross-check and baseline.
+	Scalar bool
 }
 
 // Golden is the fault-free reference behavior of one workload.
@@ -478,25 +498,37 @@ func Campaign(ctx context.Context, c *cpu.Core, prog *asm.Program, w *core.Workl
 	return rep, nil
 }
 
-// runCampaign fans the fault list out across the shared worker pool.
-// Each worker owns a private clone of the design (gate IDs are preserved
-// by Clone), injects one fault at a time, and restores the netlist
-// between runs. Outcomes land in a per-index slice and are aggregated
-// sequentially after the pool drains, so the report is deterministic.
+// runCampaign dispatches the fault list to a backend and aggregates the
+// per-index outcomes sequentially after the pool drains, so the report
+// is deterministic regardless of worker scheduling. The default backend
+// is the bit-parallel one (63 faulty worlds plus a golden guard lane per
+// simulator instance); Options.Scalar selects the one-run-per-fault
+// backend, where each worker owns a private clone of the design (gate
+// IDs are preserved by Clone), injects one fault at a time, and restores
+// the netlist between runs.
 func runCampaign(ctx context.Context, c *cpu.Core, prog *asm.Program, w *core.Workload, g *Golden, faults []Fault, opts Options) (*Report, error) {
-	outcomes := make([]*Result, len(faults))
-	perr := parallel.ForEachState(ctx, opts.Workers, len(faults),
-		func(int) *cpu.Core { return c.Clone() },
-		func(clone *cpu.Core, i int) error {
-			res, err := injectOne(ctx, clone, prog, w, g, faults[i], opts)
-			if err != nil {
-				return err
-			}
-			outcomes[i] = &res
-			return nil
-		})
-
+	start := time.Now()
+	var outcomes []*Result
+	var perr error
 	rep := &Report{}
+	if opts.Scalar {
+		rep.Batches, rep.LanesPerBatch = len(faults), 1
+		outcomes = make([]*Result, len(faults))
+		perr = parallel.ForEachState(ctx, opts.Workers, len(faults),
+			func(int) *cpu.Core { return c.Clone() },
+			func(clone *cpu.Core, i int) error {
+				res, err := injectOne(ctx, clone, prog, w, g, faults[i], opts)
+				if err != nil {
+					return err
+				}
+				outcomes[i] = &res
+				return nil
+			})
+	} else {
+		outcomes, rep.Batches, perr = runCampaignBatched(ctx, c, prog, w, g, faults, opts)
+		rep.LanesPerBatch = bitsim.Lanes
+	}
+
 	for _, o := range outcomes {
 		if o == nil {
 			continue // abandoned after an error or cancellation
@@ -524,13 +556,29 @@ func runCampaign(ctx context.Context, c *cpu.Core, prog *asm.Program, w *core.Wo
 		return nil, perr
 	}
 	sort.Slice(rep.Diverged, func(i, j int) bool {
-		a, b := rep.Diverged[i].Fault, rep.Diverged[j].Fault
-		if a.Gate != b.Gate {
-			return a.Gate < b.Gate
-		}
-		return a.Cycle < b.Cycle
+		return faultLess(rep.Diverged[i].Fault, rep.Diverged[j].Fault)
 	})
+	rep.Elapsed = time.Since(start)
 	return rep, nil
+}
+
+// faultLess is a total order on faults (site, strike time, kind,
+// value): two faults compare equal only when they are identical, so any
+// sort keyed on it is deterministic even with an unstable algorithm.
+func faultLess(a, b Fault) bool {
+	if a.Gate != b.Gate {
+		return a.Gate < b.Gate
+	}
+	if a.Cycle != b.Cycle {
+		return a.Cycle < b.Cycle
+	}
+	if a.Pulse != b.Pulse {
+		return b.Pulse
+	}
+	if a.Transient != b.Transient {
+		return b.Transient
+	}
+	return a.StuckAt < b.StuckAt
 }
 
 // injectOne runs one faulty execution on the worker's private clone and
@@ -665,7 +713,12 @@ func diffOuts(want, got []uint16) string {
 }
 
 // sample deterministically picks max faults via a seeded Fisher-Yates
-// prefix, then re-sorts by gate for stable reporting. max<=0 keeps all.
+// prefix, then re-sorts for stable reporting. max<=0 keeps all. The sort
+// uses the total fault order, not just the gate: keying an unstable sort
+// on the gate alone left ties (several faults on one site, as SEU/SET
+// schedules produce) in an algorithm-dependent order, so one seed could
+// yield differently ordered — and under a re-sample, differently
+// chosen — injection schedules between backends or Go releases.
 func sample(faults []Fault, max int, seed uint64) []Fault {
 	if max <= 0 || len(faults) <= max {
 		return faults
@@ -677,7 +730,7 @@ func sample(faults []Fault, max int, seed uint64) []Fault {
 		picked[i], picked[j] = picked[j], picked[i]
 	}
 	picked = picked[:max]
-	sort.Slice(picked, func(i, j int) bool { return picked[i].Gate < picked[j].Gate })
+	sort.Slice(picked, func(i, j int) bool { return faultLess(picked[i], picked[j]) })
 	return picked
 }
 

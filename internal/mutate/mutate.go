@@ -161,6 +161,9 @@ type SupportResult struct {
 	// analyzable mutant, suitable for cutting a mutant-supporting
 	// bespoke design (Figure 14).
 	Union *symexec.Result
+	// Cosim holds the dynamic verification phase's report when
+	// Options.Cosim was set (nil otherwise).
+	Cosim *CosimReport
 }
 
 // CheckSupport analyzes every mutant and reports which are supported by
@@ -173,11 +176,18 @@ type SupportResult struct {
 // worker pool; the union and the support tallies are merged sequentially
 // in mutant order afterwards, so the result is deterministic. The context
 // cancels the whole campaign.
-func CheckSupport(ctx context.Context, b *bench.Benchmark, app *symexec.Result, muts []*Mutant, opts symexec.Options) (*SupportResult, error) {
-	if opts.MaxCycles == 0 {
+//
+// When opts.Cosim is set, a third phase executes every assemblable
+// mutant concretely on the given design — 64 mutant images packed into
+// the lanes of one bit-parallel simulator instance per pass — and
+// cross-checks each against its own golden ISA run, confirming the
+// static verdicts dynamically (see CosimReport).
+func CheckSupport(ctx context.Context, b *bench.Benchmark, app *symexec.Result, muts []*Mutant, opts Options) (*SupportResult, error) {
+	sym := opts.Sym
+	if sym.MaxCycles == 0 {
 		// Mutations can turn bounded loops into 64K-iteration wraps;
 		// mutants that exceed the budget count as unsupported.
-		opts.MaxCycles = 400_000
+		sym.MaxCycles = 400_000
 	}
 	union := &symexec.Result{
 		Toggled:  append([]bool(nil), app.Toggled...),
@@ -199,7 +209,7 @@ func CheckSupport(ctx context.Context, b *bench.Benchmark, app *symexec.Result, 
 		if err != nil {
 			return nil
 		}
-		mres, _, err := symexec.Analyze(ctx, p, opts)
+		mres, _, err := symexec.Analyze(ctx, p, sym)
 		if err != nil {
 			if cerr := ctx.Err(); cerr != nil {
 				return cerr
@@ -213,6 +223,7 @@ func CheckSupport(ctx context.Context, b *bench.Benchmark, app *symexec.Result, 
 		return nil, fmt.Errorf("mutate: campaign aborted: %w", err)
 	}
 	// Phase 2, sequential: merge in mutant order.
+	supported := make([]bool, len(muts))
 	for i, m := range muts {
 		mres := analyses[i]
 		if mres == nil {
@@ -220,12 +231,12 @@ func CheckSupport(ctx context.Context, b *bench.Benchmark, app *symexec.Result, 
 			continue
 		}
 		res.MutantsAnalyzable++
-		supported := true
+		supported[i] = true
 		for g, t := range mres.Toggled {
 			switch {
 			case t:
 				if !app.Toggled[g] {
-					supported = false
+					supported[i] = false
 				}
 				union.Toggled[g] = true
 			case !union.Toggled[g] && union.ConstVal[g] != mres.ConstVal[g]:
@@ -234,10 +245,19 @@ func CheckSupport(ctx context.Context, b *bench.Benchmark, app *symexec.Result, 
 				union.Toggled[g] = true
 			}
 		}
-		if supported {
+		if supported[i] {
 			res.Supported++
 			res.SupportedByType[m.Type]++
 		}
+	}
+	// Phase 3, optional: confirm the static verdicts by running the
+	// mutants on the design, 64 per bit-parallel pass.
+	if opts.Cosim != nil {
+		cr, err := cosimVerify(ctx, muts, supported, opts.Cosim)
+		if err != nil {
+			return nil, err
+		}
+		res.Cosim = cr
 	}
 	return res, nil
 }

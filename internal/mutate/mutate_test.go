@@ -77,7 +77,7 @@ func TestBranchMutantsLargelySupported(t *testing.T) {
 			condOnly = append(condOnly, m)
 		}
 	}
-	res, err := CheckSupport(context.Background(), b, app, condOnly, symexec.Options{})
+	res, err := CheckSupport(context.Background(), b, app, condOnly, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,14 +101,14 @@ func TestCheckSupportMidCampaignCancellation(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := CheckSupport(ctx, b, app, muts, symexec.Options{}); !errors.Is(err, context.Canceled) {
+	if _, err := CheckSupport(ctx, b, app, muts, Options{}); !errors.Is(err, context.Canceled) {
 		t.Fatalf("pre-cancelled campaign returned %v, want context.Canceled", err)
 	}
 
 	// And with a deadline that expires while analyses are in flight.
 	ctx, cancel = context.WithTimeout(context.Background(), 5*time.Millisecond)
 	defer cancel()
-	if _, err := CheckSupport(ctx, b, app, muts, symexec.Options{}); !errors.Is(err, context.DeadlineExceeded) {
+	if _, err := CheckSupport(ctx, b, app, muts, Options{}); !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("expired campaign returned %v, want context.DeadlineExceeded", err)
 	}
 }
@@ -126,7 +126,7 @@ func TestCheckSupportIntAVG(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := CheckSupport(context.Background(), b, app, muts, symexec.Options{})
+	res, err := CheckSupport(context.Background(), b, app, muts, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
