@@ -9,12 +9,22 @@
 //
 //	bespoke-prove -bench mult          # one Table 1 benchmark
 //	bespoke-prove -bench all           # the whole suite
+//	bespoke-prove -induct -bench all   # with inductive strengthening
 //	bespoke-prove prog.s [more.s]      # assembly files
 //
+// With -induct, the static invariant engine (internal/induct) first
+// infers and discharges reachable-state invariants by k-induction; the
+// per-claim proofs and the miter then consume those PROVED facts instead
+// of the dynamically recorded bus domains, and claims in the inductive
+// core are upgraded. -k caps the induction ladder depth, -invariants
+// prints the per-benchmark proved-invariant table, and -max-assumed N
+// fails the sweep (exit 1) when the total of assumed claims exceeds N —
+// the CI gate that keeps the assumption tail from regressing.
+//
 // The exit status is 0 when every claim is proved or explicitly assumed
-// and the miter holds, 1 when any claim is refuted or a miter fails, 2 on
-// usage, flow or timeout errors. With -timeout, partial progress made
-// before the deadline is still reported.
+// and the miter holds, 1 when any claim is refuted, a miter fails, or
+// -max-assumed is exceeded, 2 on usage, flow or timeout errors. With
+// -timeout, partial progress made before the deadline is still reported.
 package main
 
 import (
@@ -32,6 +42,7 @@ import (
 	"bespoke/internal/core"
 	"bespoke/internal/cut"
 	"bespoke/internal/equiv"
+	"bespoke/internal/induct"
 	"bespoke/internal/symexec"
 	"bespoke/internal/synth"
 )
@@ -45,9 +56,10 @@ type target struct {
 type result struct {
 	Name     string  `json:"name"`
 	Claims   int     `json:"claims"`
-	Proved   int     `json:"proved"` // structural + SAT
+	Proved   int     `json:"proved"` // structural + SAT + induction
 	Struct   int     `json:"proved_structural"`
 	SAT      int     `json:"proved_sat"`
+	Induct   int     `json:"proved_induct,omitempty"`
 	Assumed  int     `json:"assumed"`
 	Refuted  int     `json:"refuted"`
 	Queries  int64   `json:"sat_queries"`
@@ -56,6 +68,24 @@ type result struct {
 	Ms       float64 `json:"ms"`
 	Timeout  bool    `json:"timeout,omitempty"`
 	Error    string  `json:"error,omitempty"`
+
+	// Inductive strengthening summary (present with -induct).
+	K              int            `json:"induct_k,omitempty"`
+	Invariants     int            `json:"invariants,omitempty"`
+	InvariantsUsed int            `json:"invariants_used,omitempty"`
+	Candidates     int            `json:"induct_candidates,omitempty"`
+	InductRounds   int            `json:"induct_rounds,omitempty"`
+	InductQueries  int64          `json:"induct_queries,omitempty"`
+	InductConfl    int64          `json:"induct_conflicts,omitempty"`
+	InvariantTable []invariantRow `json:"invariant_table,omitempty"`
+}
+
+// invariantRow is one proved invariant with its per-claim-proof use count.
+type invariantRow struct {
+	Name  string `json:"name"`
+	K     int    `json:"k"`
+	Cubes int    `json:"cubes,omitempty"`
+	Used  int    `json:"used"`
 }
 
 func main() {
@@ -65,7 +95,14 @@ func main() {
 	budget := flag.Int64("budget", 0, "per-query conflict budget (0 = default)")
 	noMiter := flag.Bool("no-miter", false, "skip the base-vs-bespoke miter check")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget (0 = unlimited)")
+	useInduct := flag.Bool("induct", false, "infer and prove reachable-state invariants by k-induction; drop the dynamic-domain hypotheses")
+	kDepth := flag.Int("k", 0, "maximum induction ladder depth with -induct (0 = engine default)")
+	showInv := flag.Bool("invariants", false, "print the proved-invariant table per benchmark (implies -induct)")
+	maxAssumed := flag.Int("max-assumed", -1, "exit 1 when the sweep's total assumed claims exceed this (-1 = no gate)")
 	flag.Parse()
+	if *showInv {
+		*useInduct = true
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -79,22 +116,39 @@ func main() {
 		fatal(err)
 	}
 
-	opts := equiv.Options{Workers: *workers, QueryBudget: *budget}
+	cfg := proveConfig{
+		opts:    equiv.Options{Workers: *workers, QueryBudget: *budget},
+		miter:   !*noMiter,
+		induct:  *useInduct,
+		inductK: *kDepth,
+	}
 	exit := 0
+	totalAssumed := 0
 	var results []result
 	for _, tg := range targets {
-		r := prove(ctx, tg, opts, !*noMiter)
+		r := prove(ctx, tg, cfg)
 		results = append(results, r)
+		totalAssumed += r.Assumed
 		if !*jsonOut {
 			writeText(os.Stdout, r)
+			if *showInv && len(r.InvariantTable) > 0 {
+				writeInvariants(os.Stdout, r)
+			}
 		}
-		if r.Refuted > 0 || (!*noMiter && r.Error == "" && !r.Miter) {
+		if r.Refuted > 0 || (cfg.miter && r.Error == "" && !r.Miter) {
 			if exit < 1 {
 				exit = 1
 			}
 		}
 		if r.Error != "" || r.Timeout {
 			exit = 2
+		}
+	}
+	if *maxAssumed >= 0 && totalAssumed > *maxAssumed {
+		fmt.Fprintf(os.Stderr, "bespoke-prove: %d claims assumed across the sweep, budget is %d\n",
+			totalAssumed, *maxAssumed)
+		if exit < 1 {
+			exit = 1
 		}
 	}
 	if *jsonOut {
@@ -140,10 +194,18 @@ func gather(benches string, files []string) ([]target, error) {
 	return targets, nil
 }
 
+// proveConfig bundles the per-target knobs of one sweep.
+type proveConfig struct {
+	opts    equiv.Options
+	miter   bool
+	induct  bool
+	inductK int
+}
+
 // prove runs the analysis, the per-claim proofs and (optionally) the
 // miter for one target. Errors and timeouts are folded into the result so
 // a sweep keeps going.
-func prove(ctx context.Context, tg target, opts equiv.Options, miter bool) (r result) {
+func prove(ctx context.Context, tg target, cfg proveConfig) (r result) {
 	r = result{Name: tg.name}
 	start := time.Now()
 	defer func() { r.Ms = float64(time.Since(start).Microseconds()) / 1000 }()
@@ -160,7 +222,31 @@ func prove(ctx context.Context, tg target, opts equiv.Options, miter bool) (r re
 	}
 	r.Claims = len(env.Claims)
 
-	rep, err := equiv.ProveClaims(ctx, env, opts)
+	if cfg.induct {
+		spec, serr := induct.NewCoreSpec(c, res, induct.DefaultSampleCycles)
+		if serr != nil {
+			r.Error = serr.Error()
+			return r
+		}
+		ires, ierr := induct.Prove(ctx, spec, env.Claims, induct.Options{
+			K:           cfg.inductK,
+			QueryBudget: cfg.opts.QueryBudget,
+		})
+		if ierr != nil {
+			r.Error = ierr.Error()
+			return r
+		}
+		env.Invariants = ires.Invariants
+		env.InductCore = ires.Core
+		r.K = ires.K
+		r.Invariants = len(ires.Invariants)
+		r.Candidates = ires.Candidates
+		r.InductRounds = ires.Rounds
+		r.InductQueries = ires.Queries
+		r.InductConfl = ires.Conflicts
+	}
+
+	rep, err := equiv.ProveClaims(ctx, env, cfg.opts)
 	if err != nil {
 		var le *equiv.LimitError
 		if errors.As(err, &le) && le.Report != nil {
@@ -174,12 +260,25 @@ func prove(ctx context.Context, tg target, opts equiv.Options, miter bool) (r re
 	}
 	r.Struct = rep.ProvedStructural
 	r.SAT = rep.ProvedSAT
-	r.Proved = rep.ProvedStructural + rep.ProvedSAT
+	r.Induct = rep.ProvedInduct
+	r.Proved = rep.Proved()
 	r.Assumed = rep.Assumed
 	r.Refuted = rep.Refuted
 	r.Queries = rep.SATQueries
+	if cfg.induct {
+		use := rep.InvariantUse(len(env.Invariants))
+		for i := range env.Invariants {
+			iv := &env.Invariants[i]
+			r.InvariantTable = append(r.InvariantTable, invariantRow{
+				Name: iv.Name, K: iv.K, Cubes: len(iv.Cubes), Used: use[i],
+			})
+			if use[i] > 0 {
+				r.InvariantsUsed++
+			}
+		}
+	}
 
-	if !miter || r.Timeout || r.Refuted > 0 {
+	if !cfg.miter || r.Timeout || r.Refuted > 0 {
 		return r
 	}
 	bespoke := c.Clone()
@@ -189,7 +288,7 @@ func prove(ctx context.Context, tg target, opts equiv.Options, miter bool) (r re
 	}
 	keep := append(bespoke.ROM.Inputs(), bespoke.RAM.Inputs()...)
 	synth.Optimize(bespoke.N, keep)
-	mres, err := equiv.ProveMiter(ctx, env, bespoke.N, rep, opts)
+	mres, err := equiv.ProveMiter(ctx, env, bespoke.N, rep, cfg.opts)
 	if err != nil {
 		var le *equiv.LimitError
 		if errors.As(err, &le) {
@@ -224,8 +323,23 @@ func writeText(w *os.File, r result) {
 			miter = fmt.Sprintf("FAIL/%d", r.MiterObs)
 		}
 	}
-	fmt.Fprintf(w, "%-18s %5d claims: %5d structural %5d sat %4d assumed %3d refuted  miter %-8s %7.0fms  %s\n",
-		r.Name, r.Claims, r.Struct, r.SAT, r.Assumed, r.Refuted, miter, r.Ms, status)
+	ind := ""
+	if r.K > 0 {
+		ind = fmt.Sprintf(" %4d induct(k=%d, %d/%d inv used)", r.Induct, r.K, r.InvariantsUsed, r.Invariants)
+	}
+	fmt.Fprintf(w, "%-18s %5d claims: %5d structural %5d sat%s %4d assumed %3d refuted  miter %-8s %7.0fms  %s\n",
+		r.Name, r.Claims, r.Struct, r.SAT, ind, r.Assumed, r.Refuted, miter, r.Ms, status)
+}
+
+// writeInvariants prints the per-benchmark proved-invariant table.
+func writeInvariants(w *os.File, r result) {
+	for _, row := range r.InvariantTable {
+		shape := "implication"
+		if row.Cubes > 0 {
+			shape = fmt.Sprintf("%d cubes", row.Cubes)
+		}
+		fmt.Fprintf(w, "    %-28s k=%d  %-12s used by %d proofs\n", row.Name, row.K, shape, row.Used)
+	}
 }
 
 func fatal(err error) {

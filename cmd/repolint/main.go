@@ -12,6 +12,12 @@
 //     function that takes a leading context.
 //   - No stray fmt.Print*/print/println debugging in internal/
 //     non-test files; diagnostics belong on error values or in the CLIs.
+//   - No bare panic( in internal/ non-test files: library code reports
+//     failures as errors. A panic is allowed only inside functions named
+//     must*/Must* or init, inside a function that installs its own
+//     recover boundary, or when annotated with a same-or-previous-line
+//     "// panic-ok: <reason>" comment explaining why the invariant is
+//     unreachable from exported entry points.
 //
 // Usage: repolint [root] (default ".", the module root). Exit status is
 // 1 when there are issues, 2 on parse errors.
@@ -79,7 +85,7 @@ func run(root string) ([]Issue, error) {
 	parsed := map[string]*ast.File{} // rel path -> file
 	byDir := map[string][]string{}   // rel dir -> rel paths
 	for _, rel := range files {
-		f, err := parser.ParseFile(fset, filepath.Join(root, rel), nil, 0)
+		f, err := parser.ParseFile(fset, filepath.Join(root, rel), nil, parser.ParseComments)
 		if err != nil {
 			return nil, err
 		}
@@ -156,6 +162,7 @@ func lintFile(fset *token.FileSet, f *ast.File, rel string, ctxPkg bool, ctxFunc
 			Msg:  fmt.Sprintf(format, args...),
 		})
 	}
+	panicOK := panicOKLines(fset, f)
 	for _, d := range f.Decls {
 		fd, ok := d.(*ast.FuncDecl)
 		if !ok || fd.Body == nil {
@@ -167,6 +174,7 @@ func lintFile(fset *token.FileSet, f *ast.File, rel string, ctxPkg bool, ctxFunc
 					fd.Name.Name, reason)
 			}
 		}
+		mayPanic := panicBoundary(fd)
 		ast.Inspect(fd.Body, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
@@ -181,11 +189,59 @@ func lintFile(fset *token.FileSet, f *ast.File, rel string, ctxPkg bool, ctxFunc
 				if fun.Name == "print" || fun.Name == "println" {
 					at(call.Pos(), "stray builtin %s in internal/", fun.Name)
 				}
+				if fun.Name == "panic" && !mayPanic {
+					line := fset.Position(call.Pos()).Line
+					if !panicOK[line] && !panicOK[line-1] {
+						at(call.Pos(), "bare panic in %s (return an error, rename the function must*, or annotate the line with // panic-ok: <reason>)",
+							fd.Name.Name)
+					}
+				}
 			}
 			return true
 		})
 	}
 	return issues
+}
+
+// panicOKLines collects the lines bearing a "// panic-ok: <reason>"
+// annotation with a non-empty reason; a panic on the same or the next
+// line is exempt from the bare-panic rule.
+func panicOKLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			rest, ok := strings.CutPrefix(text, "panic-ok:")
+			if ok && strings.TrimSpace(rest) != "" {
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+// panicBoundary reports whether fd is allowed to panic wholesale: it is
+// a must*/Must* helper or init (panicking is the documented contract),
+// or it installs a recover boundary that contains its own panics.
+func panicBoundary(fd *ast.FuncDecl) bool {
+	name := fd.Name.Name
+	if name == "init" || strings.HasPrefix(name, "must") || strings.HasPrefix(name, "Must") {
+		return true
+	}
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "recover" {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
 }
 
 // exemptName lists interface-mandated methods whose signatures cannot

@@ -240,3 +240,102 @@ func ProveClaims() error { return prove(nil) }
 		}
 	}
 }
+
+func TestFlagsBarePanic(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/power/model.go": `package power
+
+import "fmt"
+
+// Scale is library code: failures must be error values.
+func Scale(f float64) float64 {
+	if f < 0 {
+		panic(fmt.Sprintf("negative frequency %v", f))
+	}
+	return f * 2
+}
+`,
+		// Test files stay out of scope for the panic rule too.
+		"internal/power/model_test.go": `package power
+
+func helper() { panic("fine in tests") }
+`,
+	})
+	issues, err := run(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(issues) != 1 || !strings.Contains(issues[0].Msg, "bare panic in Scale") {
+		t.Fatalf("got %v, want exactly the Scale panic issue", issues)
+	}
+}
+
+func TestPanicBoundariesExempt(t *testing.T) {
+	// must*/Must* helpers, init, and functions owning a recover boundary
+	// are the places where panicking is the contract.
+	root := writeTree(t, map[string]string{
+		"internal/layout/place.go": `package layout
+
+func init() {
+	panic("registration conflict")
+}
+
+func mustParse(s string) int {
+	panic("bad literal " + s)
+}
+
+// MustPlace is the documented panicking variant of Place.
+func MustPlace() {
+	panic("no placement")
+}
+
+// Walk converts its visitor's panics into an error at this boundary.
+func Walk() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = nil
+		}
+	}()
+	panic("unwind")
+}
+`,
+	})
+	issues, err := run(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(issues) != 0 {
+		t.Fatalf("got %v, want no issues for panic boundaries", issues)
+	}
+}
+
+func TestPanicOKAnnotation(t *testing.T) {
+	// A same-line or previous-line "panic-ok: <reason>" annotation
+	// exempts exactly that panic; a bare annotation without a reason
+	// does not count.
+	root := writeTree(t, map[string]string{
+		"internal/layout/route.go": `package layout
+
+func route(n int) int {
+	if n < 0 {
+		panic("unreachable: callers validate n") // panic-ok: n was range-checked by Place
+	}
+	if n > 99 {
+		// panic-ok: grid widths beyond 99 are rejected at parse time
+		panic("unreachable: grid too wide")
+	}
+	if n == 13 {
+		panic("reasonless") // panic-ok:
+	}
+	return n
+}
+`,
+	})
+	issues, err := run(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(issues) != 1 || issues[0].Line != 12 {
+		t.Fatalf("got %v, want exactly the reasonless panic at line 12", issues)
+	}
+}

@@ -506,7 +506,7 @@ func (s *Sim) drive(id netlist.GateID, v W) {
 // Drive sets a primary input's planes (testbench use).
 func (s *Sim) Drive(id netlist.GateID, v W) {
 	if s.N.Gates[id].Kind != netlist.Input {
-		panic("bitsim: Drive on non-input gate")
+		panic("bitsim: Drive on non-input gate") // panic-ok: Drive on a non-input is a harness coding error
 	}
 	s.drive(id, v)
 }
@@ -514,7 +514,7 @@ func (s *Sim) Drive(id netlist.GateID, v W) {
 // DriveLane sets lane l of a primary input.
 func (s *Sim) DriveLane(id netlist.GateID, l int, v logic.V) {
 	if s.N.Gates[id].Kind != netlist.Input {
-		panic("bitsim: DriveLane on non-input gate")
+		panic("bitsim: DriveLane on non-input gate") // panic-ok: DriveLane on a non-input is a harness coding error
 	}
 	s.drive(id, s.Val[id].SetLane(l, v))
 }
@@ -691,7 +691,7 @@ func (s *Sim) ForceLane(id netlist.GateID, l int, v logic.V) error {
 // strike) and schedules downstream recomputation.
 func (s *Sim) ForceDffLane(id netlist.GateID, l int, v logic.V) {
 	if !s.N.Gates[id].Kind.IsSeq() {
-		panic("bitsim: ForceDffLane on non-DFF")
+		panic("bitsim: ForceDffLane on non-DFF") // panic-ok: ForceDffLane on a non-DFF is a harness coding error
 	}
 	s.drive(id, s.Val[id].SetLane(l, v))
 }

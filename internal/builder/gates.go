@@ -139,7 +139,7 @@ func (b *Builder) Not(a Wire) Wire { return b.not1(a) }
 // And returns the conjunction of all operands.
 func (b *Builder) And(ws ...Wire) Wire {
 	if len(ws) == 0 {
-		panic("builder: And of no operands")
+		panic("builder: And of no operands") // panic-ok: zero-operand And is a generator coding error
 	}
 	return reduce(b.and2, ws)
 }
@@ -147,7 +147,7 @@ func (b *Builder) And(ws ...Wire) Wire {
 // Or returns the disjunction of all operands.
 func (b *Builder) Or(ws ...Wire) Wire {
 	if len(ws) == 0 {
-		panic("builder: Or of no operands")
+		panic("builder: Or of no operands") // panic-ok: zero-operand Or is a generator coding error
 	}
 	return reduce(b.or2, ws)
 }
@@ -179,7 +179,7 @@ func (b *Builder) Nor(ws ...Wire) Wire {
 // Xor returns the exclusive-or of all operands.
 func (b *Builder) Xor(ws ...Wire) Wire {
 	if len(ws) == 0 {
-		panic("builder: Xor of no operands")
+		panic("builder: Xor of no operands") // panic-ok: zero-operand Xor is a generator coding error
 	}
 	return reduce(b.xor2, ws)
 }
@@ -190,7 +190,7 @@ func (b *Builder) Xor(ws ...Wire) Wire {
 func (b *Builder) Xnor(ws ...Wire) Wire {
 	switch len(ws) {
 	case 0:
-		panic("builder: Xnor of no operands")
+		panic("builder: Xnor of no operands") // panic-ok: zero-operand Xnor is a generator coding error
 	case 1:
 		return b.not1(ws[0])
 	}

@@ -16,7 +16,7 @@ import (
 // Build. It panics if the reset value does not fit.
 func (b *Builder) Register(name string, width int, reset uint64) Reg {
 	if width < 64 && reset>>uint(width) != 0 {
-		panic(fmt.Sprintf("builder: Register %q reset %#x exceeds %d bits", name, reset, width))
+		panic(fmt.Sprintf("builder: Register %q reset %#x exceeds %d bits", name, reset, width)) // panic-ok: reset wider than the register is a generator coding error
 	}
 	q := make(Bus, width)
 	for i := range q {
@@ -40,10 +40,10 @@ func (b *Builder) SetNext(r Reg, v Bus) {
 	for i, id := range r.Q {
 		g := &b.N.Gates[id]
 		if g.Kind != netlist.Dff {
-			panic(fmt.Sprintf("builder: SetNext on non-register net %d (%s)", id, g.Kind))
+			panic(fmt.Sprintf("builder: SetNext on non-register net %d (%s)", id, g.Kind)) // panic-ok: SetNext on a non-register is a generator coding error
 		}
 		if g.In[0] != netlist.None {
-			panic(fmt.Sprintf("builder: register %q driven twice", g.Name))
+			panic(fmt.Sprintf("builder: register %q driven twice", g.Name)) // panic-ok: double-driving a register is a generator coding error
 		}
 		g.In[0] = v[i]
 	}
@@ -86,9 +86,9 @@ func (b *Builder) DriveBus(fwd, v Bus) {
 		if _, ok := b.forwards[id]; !ok {
 			g := &b.N.Gates[id]
 			if g.Kind == netlist.Buf && g.In[0] != netlist.None {
-				panic(fmt.Sprintf("builder: forward bus net %q driven twice", g.Name))
+				panic(fmt.Sprintf("builder: forward bus net %q driven twice", g.Name)) // panic-ok: double-driving a forward bus is a generator coding error
 			}
-			panic(fmt.Sprintf("builder: DriveBus target net %d is not a forward bus", id))
+			panic(fmt.Sprintf("builder: DriveBus target net %d is not a forward bus", id)) // panic-ok: DriveBus on a non-bus is a generator coding error
 		}
 		b.N.Gates[id].In[0] = v[i]
 		delete(b.forwards, id)

@@ -9,7 +9,7 @@ import "fmt"
 // sameWidth panics unless the buses have equal width.
 func sameWidth(op string, a, c Bus) {
 	if len(a) != len(c) {
-		panic(fmt.Sprintf("builder: %s width mismatch: %d vs %d", op, len(a), len(c)))
+		panic(fmt.Sprintf("builder: %s width mismatch: %d vs %d", op, len(a), len(c))) // panic-ok: width mismatch is a generator coding error
 	}
 }
 
@@ -76,13 +76,13 @@ func (b *Builder) MuxB(sel Wire, x, y Bus) Bus {
 // significant select bit first, so each select bit drives one mux layer.
 func (b *Builder) MuxTree(sel Bus, items []Bus) Bus {
 	if len(items) != 1<<uint(len(sel)) {
-		panic(fmt.Sprintf("builder: MuxTree over %d select bits needs %d items, got %d",
+		panic(fmt.Sprintf("builder: MuxTree over %d select bits needs %d items, got %d", // panic-ok: malformed mux tree is a generator coding error
 			len(sel), 1<<uint(len(sel)), len(items)))
 	}
 	width := len(items[0])
 	for _, it := range items {
 		if len(it) != width {
-			panic(fmt.Sprintf("builder: MuxTree item width mismatch: %d vs %d", len(it), width))
+			panic(fmt.Sprintf("builder: MuxTree item width mismatch: %d vs %d", len(it), width)) // panic-ok: malformed mux tree is a generator coding error
 		}
 	}
 	return b.muxTree(sel, items)
@@ -165,7 +165,7 @@ func (b *Builder) EqB(x, y Bus) Wire {
 // does not fit in the bus width.
 func (b *Builder) EqConst(x Bus, v uint64) Wire {
 	if len(x) < 64 && v>>uint(len(x)) != 0 {
-		panic(fmt.Sprintf("builder: EqConst value %#x exceeds %d bits", v, len(x)))
+		panic(fmt.Sprintf("builder: EqConst value %#x exceeds %d bits", v, len(x))) // panic-ok: constant wider than the bus is a generator coding error
 	}
 	terms := make([]Wire, len(x))
 	for i := range x {
@@ -186,7 +186,7 @@ func (b *Builder) IsZero(x Bus) Wire {
 // OrReduce returns the OR of all bits of x.
 func (b *Builder) OrReduce(x Bus) Wire {
 	if len(x) == 0 {
-		panic("builder: OrReduce of empty bus")
+		panic("builder: OrReduce of empty bus") // panic-ok: empty-bus reduce is a generator coding error
 	}
 	return reduce(b.or2, x)
 }
@@ -195,7 +195,7 @@ func (b *Builder) OrReduce(x Bus) Wire {
 // does not fit in n bits.
 func (b *Builder) BusConst(v uint64, n int) Bus {
 	if n < 64 && v>>uint(n) != 0 {
-		panic(fmt.Sprintf("builder: BusConst value %#x exceeds %d bits", v, n))
+		panic(fmt.Sprintf("builder: BusConst value %#x exceeds %d bits", v, n)) // panic-ok: constant wider than the bus is a generator coding error
 	}
 	out := make(Bus, n)
 	for i := range out {
@@ -211,7 +211,7 @@ func (b *Builder) BusConst(v uint64, n int) Bus {
 // Ext zero-extends x to n bits (n >= len(x)).
 func (b *Builder) Ext(x Bus, n int) Bus {
 	if n < len(x) {
-		panic(fmt.Sprintf("builder: Ext from %d to narrower %d bits", len(x), n))
+		panic(fmt.Sprintf("builder: Ext from %d to narrower %d bits", len(x), n)) // panic-ok: narrowing Ext is a generator coding error
 	}
 	out := make(Bus, n)
 	copy(out, x)
@@ -224,10 +224,10 @@ func (b *Builder) Ext(x Bus, n int) Bus {
 // SignExt sign-extends x to n bits (n >= len(x), len(x) > 0).
 func (b *Builder) SignExt(x Bus, n int) Bus {
 	if len(x) == 0 {
-		panic("builder: SignExt of empty bus")
+		panic("builder: SignExt of empty bus") // panic-ok: empty-bus SignExt is a generator coding error
 	}
 	if n < len(x) {
-		panic(fmt.Sprintf("builder: SignExt from %d to narrower %d bits", len(x), n))
+		panic(fmt.Sprintf("builder: SignExt from %d to narrower %d bits", len(x), n)) // panic-ok: narrowing SignExt is a generator coding error
 	}
 	out := make(Bus, n)
 	copy(out, x)

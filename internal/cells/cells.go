@@ -88,7 +88,7 @@ func TSMC65() *Library {
 // d(V) ∝ V / (V - Vth)^alpha. It panics if v <= VThreshold.
 func (l *Library) DelayScale(v float64) float64 {
 	if v <= l.VThreshold {
-		panic("cells: supply at or below threshold")
+		panic("cells: supply at or below threshold") // panic-ok: operating point below threshold violates the model's stated domain
 	}
 	num := v / math.Pow(v-l.VThreshold, l.Alpha)
 	den := l.VNominal / math.Pow(l.VNominal-l.VThreshold, l.Alpha)

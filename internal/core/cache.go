@@ -369,6 +369,9 @@ func (tc *TailorCache) Key(progs []*asm.Program, ws []*Workload, opts Options) (
 	// likewise the resilience gate (Resilience report, and a run that
 	// passed one budget may fail another).
 	flags := uint64(0)
+	if opts.Induct { // mirror Tailor's normalization: Induct implies Prove
+		opts.Prove = true
+	}
 	if opts.Prove {
 		flags |= 1
 	}
@@ -378,8 +381,15 @@ func (tc *TailorCache) Key(progs []*asm.Program, ws []*Workload, opts Options) (
 	if opts.Resilience != nil {
 		flags |= 4
 	}
+	// The inductive strengthening changes the persisted proofs (verdicts,
+	// provenance, Assumed counts), so strengthened and plain runs must
+	// not share an entry; the ladder depth changes what gets proved.
+	if opts.Induct {
+		flags |= 8
+	}
 	u64(flags)
 	u64(uint64(opts.ProveOpts.QueryBudget))
+	u64(uint64(opts.InductK))
 	if ro := opts.Resilience; ro != nil {
 		// Workers is fan-out width only (campaigns are deterministic
 		// regardless), and Run is fixed by convention (TailorGate), so

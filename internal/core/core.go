@@ -81,6 +81,18 @@ type Options struct {
 	Prove bool
 	// ProveOpts tunes the proof engine when Prove is set.
 	ProveOpts equiv.Options
+	// Induct enables the inductive invariant engine inside the formal
+	// gate (implies Prove): candidate invariants are inferred by abstract
+	// interpretation and discharged by k-induction, per-claim proofs and
+	// the miter consume the proved invariants INSTEAD of the recorded
+	// dynamic bus domains, and Assumed claims that are themselves members
+	// of the inductive core are upgraded to proved. Nothing inferred is
+	// ever assumed: an invariant is used only if its induction step was
+	// UNSAT.
+	Induct bool
+	// InductK caps the induction ladder depth when Induct is set
+	// (0: engine default).
+	InductK int
 	// Resilience, when non-nil, enables the resilience signoff stage: a
 	// combinational SET campaign on the baseline and bespoke designs,
 	// gated on the bespoke design's visible-fault budget. A violation
@@ -289,6 +301,9 @@ func tailor(ctx context.Context, progs []*asm.Program, ws []*Workload, opts Opti
 	if lib == nil {
 		lib = cells.TSMC65()
 	}
+	if opts.Induct {
+		opts.Prove = true
+	}
 	if opts.Prove {
 		opts.Sym.RecordDomains = true
 	}
@@ -365,7 +380,7 @@ func tailor(ctx context.Context, progs []*asm.Program, ws []*Workload, opts Opti
 	var proofs []ProofResult
 	if opts.Prove {
 		stage = "prove"
-		proofs, err = proveGate(ctx, bespoke, progs, union, opts.ProveOpts)
+		proofs, err = proveGate(ctx, bespoke, progs, union, opts)
 		if err != nil {
 			gate := netlist.None
 			var pe *equiv.ProofError

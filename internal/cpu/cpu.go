@@ -87,6 +87,19 @@ type Core struct {
 	// IrqTake is the net that decides interrupt entry during FETCH; the
 	// symbolic engine forks the execution tree when it is X.
 	IrqTake builder.Wire
+
+	// Micro exposes the microarchitectural flip-flop buses (extension
+	// words, operand/result/address latches, interrupt and clock-divider
+	// counters) by name. The sequential-abstraction engines need them:
+	// a claim cone that reads a latch no invariant ranges over can never
+	// be inductive, because the abstraction admits stale junk in it.
+	Micro []NamedBus
+}
+
+// NamedBus names one internal flip-flop bus of the core.
+type NamedBus struct {
+	Name string
+	Bits builder.Bus
 }
 
 // ObservedGates returns every net that is read from outside the gate
@@ -258,7 +271,7 @@ func Build() *Core {
 	g.c.N = b.N
 	g.c.sweepOrphans()
 	if err := b.N.Validate(); err != nil {
-		panic("cpu: generated netlist invalid: " + err.Error())
+		panic("cpu: generated netlist invalid: " + err.Error()) // panic-ok: the generator emitting an invalid netlist is a bug in this package
 	}
 	return g.c
 }

@@ -146,4 +146,6 @@ func (g *gen) clockModule() {
 		g.cpuEn = b.High()
 		g.c.CPUEn = g.cpuEn
 	})
+	g.c.Micro = append(g.c.Micro,
+		NamedBus{"bcsctl", g.bcsReg.Q}, NamedBus{"divcnt", g.divCnt.Q})
 }

@@ -25,6 +25,11 @@ func (g *gen) makeRegisters() {
 		g.res = b.Register("res", 16, 0)
 		g.daddr = b.Register("daddr", 16, 0)
 	})
+	g.c.Micro = []NamedBus{
+		{"ext", g.ext.Q}, {"dext", g.dext.Q}, {"srcv", g.srcv.Q},
+		{"dstv", g.dstv.Q}, {"res", g.res.Q}, {"daddr", g.daddr.Q},
+		{"irqnum", g.irqNumReg.Q},
+	}
 	b.Scope("sfr", func() {
 		g.ieReg = b.Register("ie", 16, 0)
 		g.ifgReg = b.Register("ifg", 16, 0)

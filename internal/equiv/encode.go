@@ -9,27 +9,39 @@ import (
 	"bespoke/internal/symexec"
 )
 
-// frame is one Tseitin-encoded combinational frame of a netlist: every
+// Frame is one Tseitin-encoded combinational frame of a netlist: every
 // gate has a CNF variable for its settled output value, and clauses tie
 // each combinational gate to its inputs. Flip-flop and Input gates are
 // free variables (the frame quantifies over all states and inputs; the
 // environment clauses then restrict them to reachable ones).
-type frame struct {
+//
+// The type is exported so internal/induct can unroll several frames of
+// the same netlist over one solver, chaining each flip-flop's output
+// variable at cycle t+1 to its D-input variable at cycle t via the
+// shared map of NewFrame.
+type Frame struct {
 	s    *sat.Solver
 	vars []sat.Var // indexed by GateID
 }
 
-// lit returns the literal asserting gate g carries value v in the frame.
-func (f *frame) lit(g netlist.GateID, v logic.V) sat.Lit {
+// Lit returns the literal asserting gate g carries value v in the frame.
+func (f *Frame) Lit(g netlist.GateID, v logic.V) sat.Lit {
 	return sat.MkLit(f.vars[g], v == logic.Zero)
 }
 
-// newFrame allocates variables for every gate of n on s and adds the
+// Var returns the CNF variable of gate g in the frame.
+func (f *Frame) Var(g netlist.GateID) sat.Var { return f.vars[g] }
+
+// Solver returns the solver the frame's clauses live on.
+func (f *Frame) Solver() *sat.Solver { return f.s }
+
+// NewFrame allocates variables for every gate of n on s and adds the
 // combinational constraint clauses. Multiple frames may share one solver
-// (the miter encodes two); shared maps gate IDs to pre-existing variables
-// that the new frame must reuse instead of allocating (nil for none).
-func newFrame(s *sat.Solver, n *netlist.Netlist, shared map[netlist.GateID]sat.Var) (*frame, error) {
-	f := &frame{s: s, vars: make([]sat.Var, len(n.Gates))}
+// (the miter encodes two, an induction unrolling encodes k+1); shared
+// maps gate IDs to pre-existing variables that the new frame must reuse
+// instead of allocating (nil for none).
+func NewFrame(s *sat.Solver, n *netlist.Netlist, shared map[netlist.GateID]sat.Var) (*Frame, error) {
+	f := &Frame{s: s, vars: make([]sat.Var, len(n.Gates))}
 	for i := range n.Gates {
 		if v, ok := shared[netlist.GateID(i)]; ok {
 			f.vars[i] = v
@@ -127,7 +139,7 @@ type RAMSpec struct {
 	WEnHi netlist.GateID
 }
 
-// encodeROM adds the exact read function of spec to the frame:
+// EncodeROM adds the exact read function of spec to the frame:
 //
 //	en = 0           -> data = 0
 //	en = 1, addr = a -> data = Words[a]
@@ -135,7 +147,7 @@ type RAMSpec struct {
 // The encoding exploits that the image is mostly zero: a match term is
 // introduced only for nonzero words, and data bits are pulled down by
 // "no nonzero word with this bit matched" clauses.
-func encodeROM(f *frame, spec ROMSpec) {
+func EncodeROM(f *Frame, spec ROMSpec) {
 	s := f.s
 	en := sat.Pos(f.vars[spec.En])
 	dataBit := func(j int) sat.Var { return f.vars[spec.Data[j]] }
@@ -191,9 +203,9 @@ func encodeROM(f *frame, spec ROMSpec) {
 	}
 }
 
-// encodeRAMGate adds the enable gating of a RAM: en=0 -> data reads 0.
+// EncodeRAMGate adds the enable gating of a RAM: en=0 -> data reads 0.
 // With en=1 the data stays free (contents are unconstrained).
-func encodeRAMGate(f *frame, spec RAMSpec) {
+func EncodeRAMGate(f *Frame, spec RAMSpec) {
 	en := sat.Pos(f.vars[spec.En])
 	for _, d := range spec.Data {
 		f.s.AddClause(en, sat.Neg(f.vars[d]))
@@ -202,8 +214,10 @@ func encodeRAMGate(f *frame, spec RAMSpec) {
 
 // encodeDomains constrains each recorded bus to its observed value set:
 // at least one cube per bus must hold. Exceeded or empty domains add no
-// constraint (unconstrained is always sound).
-func encodeDomains(f *frame, domains []symexec.BusDomain) {
+// constraint (unconstrained is always sound). These are the DYNAMIC
+// hypotheses of the legacy environment; with proved invariants present
+// (Env.Invariants) they are not encoded at all.
+func encodeDomains(f *Frame, domains []symexec.BusDomain) {
 	s := f.s
 	for _, d := range domains {
 		if d.Exceeded || len(d.Words) == 0 {
@@ -214,7 +228,7 @@ func encodeDomains(f *frame, domains []symexec.BusDomain) {
 			c := s.NewVar()
 			sel = append(sel, sat.Pos(c))
 			for i, bit := range d.Bits {
-				if i >= 16 || w.Mask>>uint(i)&1 == 0 {
+				if i >= 16 || w.Mask>>uint(i)&1 == 1 {
 					continue // X bit: unconstrained in this cube
 				}
 				s.AddClause(sat.Neg(c), sat.MkLit(f.vars[bit], w.Val>>uint(i)&1 == 0))

@@ -40,6 +40,7 @@ package equiv
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -64,7 +65,20 @@ type Env struct {
 	RAM *RAMSpec
 	// Domains are per-bus reachable value sets from the activity
 	// analysis (may be nil: fewer claims become provable, never wrong).
+	// They are DYNAMIC hypotheses: when Invariants is non-empty they are
+	// ignored entirely and the proved facts take their place.
 	Domains []symexec.BusDomain
+	// Invariants are reachable-state facts PROVED by k-induction
+	// (internal/induct). Each must carry K >= 1 — the depth its
+	// induction proof used; the prover rejects unproved (K == 0)
+	// entries so nothing inferred is ever silently assumed.
+	Invariants []Invariant
+	// InductCore maps claim gates to the induction depth at which the
+	// claim itself was discharged as a member of an inductive set rooted
+	// in the reset state (internal/induct's Houdini core). Claims the
+	// per-frame queries leave Assumed are upgraded to ProvedInduct from
+	// this map.
+	InductCore map[netlist.GateID]int
 }
 
 // Verdict classifies one claim after proving.
@@ -83,6 +97,12 @@ const (
 	Assumed
 	// Refuted: contradicts the environment plus the other claims.
 	Refuted
+	// ProvedInduct: discharged by k-induction as a member of an
+	// inductive claim/invariant set anchored in the reset state
+	// (internal/induct). Strictly stronger than ProvedSAT: the base
+	// case roots the induction in the concrete reset state instead of
+	// assuming the rest of the claim set.
+	ProvedInduct
 )
 
 // String names the verdict for reports.
@@ -96,6 +116,8 @@ func (v Verdict) String() string {
 		return "assumed"
 	case Refuted:
 		return "refuted"
+	case ProvedInduct:
+		return "proved-induct"
 	}
 	return "unproved"
 }
@@ -129,6 +151,15 @@ type ClaimResult struct {
 	// Counterexample is set for Refuted claims discharged by a query
 	// pair (nil when refuted by the consistency pre-check).
 	Counterexample *Counterexample
+	// Used is the provenance trail of a ProvedSAT claim: indexes into
+	// Env.Invariants of the proved invariants its UNSAT core relied on
+	// (nil when the proof needed none).
+	Used []int32 `json:",omitempty"`
+	// K is the induction depth backing the proof: for ProvedInduct the
+	// depth of the claim's own induction core, for ProvedSAT the
+	// deepest K among the invariants in Used (0 = no induction behind
+	// it).
+	K int `json:",omitempty"`
 }
 
 // Report is the outcome of ProveClaims.
@@ -138,12 +169,28 @@ type Report struct {
 	// Verdict tallies.
 	ProvedStructural int
 	ProvedSAT        int
+	ProvedInduct     int
 	Assumed          int
 	Refuted          int
 	// SATQueries counts individual Solve calls dispatched.
 	SATQueries int64
 	// Conflicts aggregates solver conflicts across all workers.
 	Conflicts int64
+}
+
+// InvariantUse tallies, for nInv environment invariants, how many
+// ProvedSAT claims' UNSAT cores used each one — the aggregate provenance
+// shown in per-benchmark invariant tables.
+func (r *Report) InvariantUse(nInv int) []int {
+	use := make([]int, nInv)
+	for i := range r.Results {
+		for _, ix := range r.Results[i].Used {
+			if int(ix) < nInv {
+				use[ix]++
+			}
+		}
+	}
+	return use
 }
 
 // Refutations returns the refuted results, lowest gate first.
@@ -159,19 +206,26 @@ func (r *Report) Refutations() []ClaimResult {
 }
 
 func (r *Report) tally() {
-	r.ProvedStructural, r.ProvedSAT, r.Assumed, r.Refuted = 0, 0, 0, 0
+	r.ProvedStructural, r.ProvedSAT, r.ProvedInduct, r.Assumed, r.Refuted = 0, 0, 0, 0, 0
 	for _, cr := range r.Results {
 		switch cr.Verdict {
 		case ProvedStructural:
 			r.ProvedStructural++
 		case ProvedSAT:
 			r.ProvedSAT++
+		case ProvedInduct:
+			r.ProvedInduct++
 		case Assumed:
 			r.Assumed++
 		case Refuted:
 			r.Refuted++
 		}
 	}
+}
+
+// Proved is the total count of formally discharged claims.
+func (r *Report) Proved() int {
+	return r.ProvedStructural + r.ProvedSAT + r.ProvedInduct
 }
 
 // ProofError is the structured flow error for a refuted claim: the
@@ -303,6 +357,13 @@ func ProveClaims(ctx context.Context, env *Env, opts Options) (*Report, error) {
 	if len(residue) > 0 {
 		incons, err := consistencyCheck(ctx, env, unitIdx, opts)
 		if err != nil {
+			var le *LimitError
+			if errors.As(err, &le) {
+				// Carry the exact partial state: phase 1 already settled
+				// the structural verdicts.
+				rep.tally()
+				*le = *limitError(ctx, rep, le.Err)
+			}
 			return nil, err
 		}
 		if len(incons) > 0 {
@@ -316,11 +377,6 @@ func ProveClaims(ctx context.Context, env *Env, opts Options) (*Report, error) {
 
 	// Phase 3: per-claim violation queries, fanned out with one
 	// solver+frame per worker.
-	type outcome struct {
-		verdict Verdict
-		cex     *Counterexample
-		queries int64
-	}
 	outcomes := make([]outcome, len(residue))
 	perr := parallel.ForEachState(ctx, opts.Workers, len(residue),
 		func(worker int) *prover {
@@ -331,11 +387,11 @@ func ProveClaims(ctx context.Context, env *Env, opts Options) (*Report, error) {
 				return p.buildErr
 			}
 			ci := residue[qi]
-			v, cex, nq, err := p.decide(ctx, ci)
+			o, err := p.decide(ctx, ci)
 			if err != nil {
 				return err
 			}
-			outcomes[qi] = outcome{verdict: v, cex: cex, queries: nq}
+			outcomes[qi] = o
 			return nil
 		})
 	for qi, o := range outcomes {
@@ -344,31 +400,52 @@ func ProveClaims(ctx context.Context, env *Env, opts Options) (*Report, error) {
 		}
 		rep.Results[residue[qi]].Verdict = o.verdict
 		rep.Results[residue[qi]].Counterexample = o.cex
+		rep.Results[residue[qi]].Used = o.used
+		rep.Results[residue[qi]].K = o.k
 		rep.SATQueries += o.queries
+	}
+
+	// Phase 4: claims the frame queries exhausted their budget on (or
+	// could not decide) retry under strengthening — membership in the
+	// inductive core discharges them at the core's depth.
+	if env.InductCore != nil {
+		for i := range rep.Results {
+			cr := &rep.Results[i]
+			if cr.Verdict != Assumed {
+				continue
+			}
+			if k, ok := env.InductCore[cr.Claim.Gate]; ok {
+				cr.Verdict = ProvedInduct
+				cr.K = k
+			}
+		}
 	}
 	rep.tally()
 	if perr != nil {
-		reason := "cancelled"
-		if ctx.Err() == context.DeadlineExceeded {
-			reason = "deadline exceeded"
-		}
-		remaining := 0
-		for _, cr := range rep.Results {
-			if cr.Verdict == Unproved {
-				remaining++
-			}
-		}
-		return nil, &LimitError{
-			Reason:    reason,
-			Proved:    rep.ProvedStructural + rep.ProvedSAT,
-			Assumed:   rep.Assumed,
-			Refuted:   rep.Refuted,
-			Remaining: remaining,
-			Report:    rep,
-			Err:       perr,
-		}
+		return nil, limitError(ctx, rep, perr)
 	}
 	return rep, nil
+}
+
+// limitError wraps an aborted run's partial report with exact
+// bookkeeping: Proved+Assumed+Refuted+Remaining always equals the claim
+// count.
+func limitError(ctx context.Context, rep *Report, err error) *LimitError {
+	remaining := 0
+	for _, cr := range rep.Results {
+		if cr.Verdict == Unproved {
+			remaining++
+		}
+	}
+	return &LimitError{
+		Reason:    ctxReason(ctx),
+		Proved:    rep.Proved(),
+		Assumed:   rep.Assumed,
+		Refuted:   rep.Refuted,
+		Remaining: remaining,
+		Report:    rep,
+		Err:       err,
+	}
 }
 
 func checkEnv(env *Env) error {
@@ -385,6 +462,22 @@ func checkEnv(env *Env) error {
 		k := env.N.Gates[c.Gate].Kind
 		if k == netlist.Input || k == netlist.Const0 || k == netlist.Const1 {
 			return fmt.Errorf("equiv: claim on non-claimable gate %d (%s)", c.Gate, k)
+		}
+	}
+	for i := range env.Invariants {
+		iv := &env.Invariants[i]
+		if iv.K < 1 {
+			return fmt.Errorf("equiv: invariant %d (%s) was never discharged by induction (K=%d); unproved hypotheses are not admitted", i, iv.Name, iv.K)
+		}
+		for _, b := range iv.Bits {
+			if b < 0 || int(b) >= len(env.N.Gates) {
+				return fmt.Errorf("equiv: invariant %d (%s) names out-of-range gate %d", i, iv.Name, b)
+			}
+		}
+		if !iv.IsCube() {
+			if iv.From < 0 || int(iv.From) >= len(env.N.Gates) || iv.To < 0 || int(iv.To) >= len(env.N.Gates) {
+				return fmt.Errorf("equiv: invariant %d (%s) names an out-of-range gate", i, iv.Name)
+			}
 		}
 	}
 	return nil
@@ -443,7 +536,7 @@ func structuralVals(n *netlist.Netlist, claims []cut.Claim) ([]logic.V, error) {
 // inconsistent claim subset (empty when consistent).
 func consistencyCheck(ctx context.Context, env *Env, unitIdx []int, opts Options) ([]int, error) {
 	s := sat.New()
-	f, err := newFrame(s, env.N, nil)
+	f, err := NewFrame(s, env.N, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -452,7 +545,7 @@ func consistencyCheck(ctx context.Context, env *Env, unitIdx []int, opts Options
 	byLit := make(map[sat.Lit]int, len(unitIdx))
 	for k, i := range unitIdx {
 		c := env.Claims[i]
-		assume[k] = f.lit(c.Gate, c.Val)
+		assume[k] = f.Lit(c.Gate, c.Val)
 		byLit[assume[k]] = i
 	}
 	st, err := s.Solve(ctx, assume...)
@@ -486,25 +579,44 @@ func ctxReason(ctx context.Context) string {
 	return "cancelled"
 }
 
-// encodeEnv adds the environment clauses (ROM function, RAM gating, bus
-// domains) to a frame.
-func encodeEnv(f *frame, env *Env) {
+// encodeEnv adds the environment clauses to a frame: the ROM read
+// function, the RAM enable gating, and the reachable-state restriction —
+// proved invariants when the environment carries any (hard clauses; they
+// are facts), otherwise the recorded dynamic bus domains.
+func encodeEnv(f *Frame, env *Env) {
 	if env.ROM != nil {
-		encodeROM(f, *env.ROM)
+		EncodeROM(f, *env.ROM)
 	}
 	if env.RAM != nil {
-		encodeRAMGate(f, *env.RAM)
+		EncodeRAMGate(f, *env.RAM)
+	}
+	if len(env.Invariants) > 0 {
+		for i := range env.Invariants {
+			env.Invariants[i].Encode(f)
+		}
+		return
 	}
 	encodeDomains(f, env.Domains)
+}
+
+// outcome is one phase-3 claim decision.
+type outcome struct {
+	verdict Verdict
+	cex     *Counterexample
+	used    []int32
+	k       int
+	queries int64
 }
 
 // prover is one worker's solver instance for phase-3 queries.
 type prover struct {
 	env      *Env
-	f        *frame
+	f        *Frame
 	s        *sat.Solver
 	combLit  map[int]sat.Lit // residue comb claim index -> assumption literal
 	combIdx  []int
+	invSel   []sat.Lit       // per-invariant selector assumptions
+	invByLit map[sat.Lit]int // selector literal -> invariant index
 	buildErr error
 	budget   int64
 }
@@ -512,16 +624,36 @@ type prover struct {
 func newProver(env *Env, unitIdx, residueComb []int, opts Options) *prover {
 	p := &prover{env: env, budget: opts.queryBudget()}
 	p.s = sat.New()
-	f, err := newFrame(p.s, env.N, nil)
+	f, err := NewFrame(p.s, env.N, nil)
 	if err != nil {
 		p.buildErr = err
 		return p
 	}
 	p.f = f
-	encodeEnv(f, env)
+	if env.ROM != nil {
+		EncodeROM(f, *env.ROM)
+	}
+	if env.RAM != nil {
+		EncodeRAMGate(f, *env.RAM)
+	}
+	// Invariants are encoded behind one selector each and assumed in
+	// every query: an UNSAT answer then names the invariants it relied
+	// on through FailedAssumptions — the per-claim provenance trail.
+	if len(env.Invariants) > 0 {
+		p.invSel = make([]sat.Lit, len(env.Invariants))
+		p.invByLit = make(map[sat.Lit]int, len(env.Invariants))
+		for i := range env.Invariants {
+			sel := p.s.NewVar()
+			env.Invariants[i].Encode(f, sat.Neg(sel))
+			p.invSel[i] = sat.Pos(sel)
+			p.invByLit[sat.Pos(sel)] = i
+		}
+	} else {
+		encodeDomains(f, env.Domains)
+	}
 	for _, i := range unitIdx {
 		c := env.Claims[i]
-		if !p.s.AddClause(f.lit(c.Gate, c.Val)) {
+		if !p.s.AddClause(f.Lit(c.Gate, c.Val)) {
 			// Cannot happen: phase 2 proved these consistent. Guard anyway.
 			p.buildErr = fmt.Errorf("equiv: unit claims inconsistent after consistency check")
 			return p
@@ -531,16 +663,35 @@ func newProver(env *Env, unitIdx, residueComb []int, opts Options) *prover {
 	p.combIdx = residueComb
 	for _, i := range residueComb {
 		c := env.Claims[i]
-		p.combLit[i] = f.lit(c.Gate, c.Val)
+		p.combLit[i] = f.Lit(c.Gate, c.Val)
 	}
 	return p
 }
 
+// provenance extracts the invariant indexes of the final conflict from
+// FailedAssumptions, plus the deepest induction level among them.
+func (p *prover) provenance() (used []int32, k int) {
+	if p.invByLit == nil {
+		return nil, 0
+	}
+	for _, l := range p.s.FailedAssumptions() {
+		if i, ok := p.invByLit[l]; ok {
+			used = append(used, int32(i))
+			if p.env.Invariants[i].K > k {
+				k = p.env.Invariants[i].K
+			}
+		}
+	}
+	sort.Slice(used, func(a, b int) bool { return used[a] < used[b] })
+	return used, k
+}
+
 // decide runs the violation/support query pair for claim index ci.
-func (p *prover) decide(ctx context.Context, ci int) (Verdict, *Counterexample, int64, error) {
+func (p *prover) decide(ctx context.Context, ci int) (outcome, error) {
 	c := p.env.Claims[ci]
 	t := targetNet(p.env.N, c)
-	base := make([]sat.Lit, 0, len(p.combIdx)+1)
+	base := make([]sat.Lit, 0, len(p.invSel)+len(p.combIdx)+1)
+	base = append(base, p.invSel...)
 	for _, i := range p.combIdx {
 		if i == ci {
 			continue // never assume the claim under test
@@ -550,15 +701,16 @@ func (p *prover) decide(ctx context.Context, ci int) (Verdict, *Counterexample, 
 
 	// Query A: can the target net take the opposite value?
 	p.s.SetBudget(p.budget)
-	st, err := p.s.Solve(ctx, append(base, p.f.lit(t, logic.Not(c.Val)))...)
+	st, err := p.s.Solve(ctx, append(base, p.f.Lit(t, logic.Not(c.Val)))...)
 	if err != nil {
-		return Unproved, nil, 1, err
+		return outcome{verdict: Unproved, queries: 1}, err
 	}
 	switch st {
 	case sat.Unsat:
-		return ProvedSAT, nil, 1, nil
+		used, k := p.provenance()
+		return outcome{verdict: ProvedSAT, used: used, k: k, queries: 1}, nil
 	case sat.Unknown:
-		return Assumed, nil, 1, nil
+		return outcome{verdict: Assumed, queries: 1}, nil
 	}
 	cex := p.capture(c)
 
@@ -566,14 +718,14 @@ func (p *prover) decide(ctx context.Context, ci int) (Verdict, *Counterexample, 
 	// claim contradicts the environment plus the other claims — a hard
 	// refutation, with A's witness as the stimulus.
 	p.s.SetBudget(p.budget)
-	st, err = p.s.Solve(ctx, append(base, p.f.lit(t, c.Val))...)
+	st, err = p.s.Solve(ctx, append(base, p.f.Lit(t, c.Val))...)
 	if err != nil {
-		return Unproved, nil, 2, err
+		return outcome{verdict: Unproved, queries: 2}, err
 	}
 	if st == sat.Unsat {
-		return Refuted, cex, 2, nil
+		return outcome{verdict: Refuted, cex: cex, queries: 2}, nil
 	}
-	return Assumed, nil, 2, nil
+	return outcome{verdict: Assumed, queries: 2}, nil
 }
 
 // capture projects the current model onto a Counterexample.
@@ -582,7 +734,7 @@ func (p *prover) capture(c cut.Claim) *Counterexample {
 }
 
 // captureModel builds a Counterexample from a satisfying model of f.
-func captureModel(s *sat.Solver, f *frame, env *Env, c cut.Claim) *Counterexample {
+func captureModel(s *sat.Solver, f *Frame, env *Env, c cut.Claim) *Counterexample {
 	cex := &Counterexample{
 		Gate:    c.Gate,
 		Claimed: c.Val,

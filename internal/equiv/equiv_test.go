@@ -73,11 +73,11 @@ func evalConcrete(n *netlist.Netlist, inputs uint64) []logic.V {
 func crossCheck(t *testing.T, n *netlist.Netlist, gate netlist.GateID, want logic.V) {
 	t.Helper()
 	s := sat.New()
-	f, err := newFrame(s, n, nil)
+	f, err := NewFrame(s, n, nil)
 	if err != nil {
 		t.Fatalf("encode: %v", err)
 	}
-	st, err := s.Solve(context.Background(), f.lit(gate, want))
+	st, err := s.Solve(context.Background(), f.Lit(gate, want))
 	if err != nil {
 		t.Fatalf("solve: %v", err)
 	}

@@ -21,6 +21,12 @@ type MiterResult struct {
 	// formally discharge (verdict Assumed): the equivalence is
 	// conditional on them and they rest on the dynamic analysis.
 	AssumedClaims int
+	// Invariants counts the proved reachable-state invariants encoded in
+	// place of the recorded dynamic bus domains. When non-zero, the
+	// miter carries NO dynamic hypotheses beyond AssumedClaims: every
+	// environment constraint is either exact (ROM image, RAM gating) or
+	// discharged by induction.
+	Invariants int
 	// Mismatch names the first differing obligation when inequivalent.
 	Mismatch string
 	// Counterexample is the distinguishing frame when inequivalent.
@@ -61,7 +67,7 @@ func ProveMiter(ctx context.Context, env *Env, bespoke *netlist.Netlist, rep *Re
 		return nil, fmt.Errorf("equiv: report covers %d claims, environment has %d", len(rep.Results), len(env.Claims))
 	}
 	s := sat.New()
-	fb, err := newFrame(s, env.N, nil)
+	fb, err := NewFrame(s, env.N, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -80,7 +86,7 @@ func ProveMiter(ctx context.Context, env *Env, bespoke *netlist.Netlist, rep *Re
 				assumed++
 			}
 		}
-		s.AddClause(fb.lit(c.Gate, c.Val))
+		s.AddClause(fb.Lit(c.Gate, c.Val))
 	}
 	shared := map[netlist.GateID]sat.Var{}
 	for i := range bespoke.Gates {
@@ -134,7 +140,7 @@ func ProveMiter(ctx context.Context, env *Env, bespoke *netlist.Netlist, rep *Re
 			break
 		}
 	}
-	fs, err := newFrame(s, bespoke, shared)
+	fs, err := NewFrame(s, bespoke, shared)
 	if err != nil {
 		return nil, err
 	}
@@ -190,7 +196,7 @@ func ProveMiter(ctx context.Context, env *Env, bespoke *netlist.Netlist, rep *Re
 	if err != nil {
 		return nil, &LimitError{Reason: ctxReason(ctx), Err: err}
 	}
-	res := &MiterResult{Obligations: len(obs), AssumedClaims: assumed}
+	res := &MiterResult{Obligations: len(obs), AssumedClaims: assumed, Invariants: len(env.Invariants)}
 	switch st {
 	case sat.Unsat:
 		res.Equivalent = true

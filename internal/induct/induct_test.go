@@ -1,0 +1,334 @@
+package induct
+
+import (
+	"context"
+	"testing"
+
+	"bespoke/internal/cut"
+	"bespoke/internal/equiv"
+	"bespoke/internal/logic"
+	"bespoke/internal/netlist"
+	"bespoke/internal/symexec"
+)
+
+// counterNetlist is a 2-bit counter cycling 00 -> 01 -> 10 -> 00 (state
+// 11 is unreachable): next q0 = !q0 & !q1, next q1 = q0.
+func counterNetlist() (*netlist.Netlist, netlist.GateID, netlist.GateID) {
+	n := netlist.New()
+	q0 := n.Add(netlist.Gate{Kind: netlist.Dff, Reset: logic.Zero, Name: "q0"})
+	q1 := n.Add(netlist.Gate{Kind: netlist.Dff, Reset: logic.Zero, Name: "q1"})
+	d0 := n.Add(netlist.Gate{Kind: netlist.Nor, In: [3]netlist.GateID{q0, q1, netlist.None}, Name: "d0"})
+	n.Gates[q0].In[0] = d0
+	n.Gates[q1].In[0] = q0
+	n.MarkOutput("q1", q1)
+	return n, q0, q1
+}
+
+func counterSpec(words []logic.Word) (*Spec, netlist.GateID, netlist.GateID) {
+	n, q0, q1 := counterNetlist()
+	bits := []netlist.GateID{q0, q1}
+	return &Spec{
+		N:     n,
+		Buses: []Bus{{Name: "cnt", Bits: bits}},
+		Seeds: []symexec.BusDomain{{Name: "cnt", Bits: bits, Words: words}},
+	}, q0, q1
+}
+
+func findInv(t *testing.T, res *Result, name string) *equiv.Invariant {
+	t.Helper()
+	for i := range res.Invariants {
+		if res.Invariants[i].Name == name {
+			return &res.Invariants[i]
+		}
+	}
+	return nil
+}
+
+// TestCounterValueSet proves the exact reachable set {0,1,2} of the
+// counter is 1-inductive, along with its interval cover.
+func TestCounterValueSet(t *testing.T) {
+	spec, _, _ := counterSpec([]logic.Word{
+		logic.KnownWord(0), logic.KnownWord(1), logic.KnownWord(2),
+	})
+	res, err := Prove(context.Background(), spec, nil, Options{})
+	if err != nil {
+		t.Fatalf("Prove: %v", err)
+	}
+	for _, name := range []string{"cnt", "cnt#range"} {
+		iv := findInv(t, res, name)
+		if iv == nil {
+			t.Fatalf("invariant %q not proved; got %s", name, equiv.FormatInvariants(res.Invariants))
+		}
+		if iv.K < 1 {
+			t.Fatalf("invariant %q carries K=%d; proved invariants must record their depth", name, iv.K)
+		}
+	}
+	if res.BudgetExhausted {
+		t.Fatal("budget exhausted on a trivial design")
+	}
+}
+
+// TestBootWideningRepairsSeed: the dynamic record starts after boot, so
+// a recorded set can miss values the machine deterministically visits
+// from reset ({0,1} without 2 here). The ternary boot unroll widens the
+// candidate with those words instead of letting the fact die on its
+// base case — and the proved set covers the missing reachable value, so
+// nothing unsound is ever returned.
+func TestBootWideningRepairsSeed(t *testing.T) {
+	spec, _, _ := counterSpec([]logic.Word{logic.KnownWord(0), logic.KnownWord(1)})
+	res, err := Prove(context.Background(), spec, nil, Options{K: 3})
+	if err != nil {
+		t.Fatalf("Prove: %v", err)
+	}
+	iv := findInv(t, res, "cnt")
+	if iv == nil {
+		t.Fatalf("widened value set not proved: %s", equiv.FormatInvariants(res.Invariants))
+	}
+	if !covered(logic.KnownWord(2), iv.Cubes) {
+		t.Fatalf("proved set misses reachable value 2: %s", iv.String())
+	}
+}
+
+// TestRejectsUnsoundSeedInputDriven: a recorded set missing an
+// INPUT-reachable value must be DROPPED, not proved — boot widening
+// cannot repair it (the flip-flop is X from frame 1 in the ternary
+// unroll) and the engine never returns an unsound invariant no matter
+// what the dynamic record says.
+func TestRejectsUnsoundSeedInputDriven(t *testing.T) {
+	n := netlist.New()
+	in := n.Add(netlist.Gate{Kind: netlist.Input, Name: "in"})
+	d := n.Add(netlist.Gate{Kind: netlist.Dff, Reset: logic.Zero, Name: "d"})
+	n.Gates[d].In[0] = in
+	n.MarkOutput("d", d)
+	bits := []netlist.GateID{d}
+	spec := &Spec{
+		N:     n,
+		Buses: []Bus{{Name: "d", Bits: bits}},
+		Seeds: []symexec.BusDomain{{Name: "d", Bits: bits, Words: []logic.Word{logic.KnownWord(0)}}},
+	}
+	res, err := Prove(context.Background(), spec, nil, Options{K: 3})
+	if err != nil {
+		t.Fatalf("Prove: %v", err)
+	}
+	if iv := findInv(t, res, "d"); iv != nil {
+		t.Fatalf("unsound invariant was proved: %s", iv.String())
+	}
+	if res.Dropped == 0 {
+		t.Fatal("nothing dropped despite unsound candidates")
+	}
+}
+
+// TestTernaryConstant: a self-holding flip-flop is found constant by the
+// ternary fixpoint and proved; an input-driven one is not proposed.
+func TestTernaryConstant(t *testing.T) {
+	n := netlist.New()
+	in := n.Add(netlist.Gate{Kind: netlist.Input, Name: "in"})
+	c := n.Add(netlist.Gate{Kind: netlist.Dff, Reset: logic.One, Name: "c"})
+	n.Gates[c].In[0] = c
+	x := n.Add(netlist.Gate{Kind: netlist.Dff, Reset: logic.Zero, Name: "x"})
+	n.Gates[x].In[0] = in
+	n.MarkOutput("x", x)
+	res, err := Prove(context.Background(), &Spec{N: n}, nil, Options{})
+	if err != nil {
+		t.Fatalf("Prove: %v", err)
+	}
+	if len(res.Invariants) != 1 {
+		t.Fatalf("want exactly the constant invariant, got %s", equiv.FormatInvariants(res.Invariants))
+	}
+	iv := &res.Invariants[0]
+	if len(iv.Bits) != 1 || iv.Bits[0] != c || iv.K < 1 {
+		t.Fatalf("wrong invariant: %s over %v", iv.String(), iv.Bits)
+	}
+}
+
+// TestClaimsJoinCore: a claim handed to Prove is itself a candidate and
+// lands in the inductive core when it survives.
+func TestClaimsJoinCore(t *testing.T) {
+	n := netlist.New()
+	c := n.Add(netlist.Gate{Kind: netlist.Dff, Reset: logic.One, Name: "c"})
+	n.Gates[c].In[0] = c
+	n.MarkOutput("c", c)
+	claims := []cut.Claim{{Gate: c, Val: logic.One}}
+	res, err := Prove(context.Background(), &Spec{N: n}, claims, Options{})
+	if err != nil {
+		t.Fatalf("Prove: %v", err)
+	}
+	if k := res.Core[c]; k < 1 {
+		t.Fatalf("claim not in inductive core: %+v", res.Core)
+	}
+	// The ternary fixpoint rediscovers the same fact; it must be deduped
+	// against the claim, not returned twice.
+	if len(res.Invariants) != 0 {
+		t.Fatalf("claim fact duplicated as invariant: %s", equiv.FormatInvariants(res.Invariants))
+	}
+}
+
+// TestImplications: two flip-flops sharing a D input are equal in every
+// frame; the sample-filtered implication candidates between them must be
+// proved. A third flip-flop driven by a free input admits no implication
+// even when the samples happen to agree.
+func TestImplications(t *testing.T) {
+	n := netlist.New()
+	in := n.Add(netlist.Gate{Kind: netlist.Input, Name: "in"})
+	free := n.Add(netlist.Gate{Kind: netlist.Input, Name: "free"})
+	d := n.Add(netlist.Gate{Kind: netlist.Buf, In: [3]netlist.GateID{in, netlist.None, netlist.None}})
+	a := n.Add(netlist.Gate{Kind: netlist.Dff, Reset: logic.Zero, Name: "a"})
+	b := n.Add(netlist.Gate{Kind: netlist.Dff, Reset: logic.Zero, Name: "b"})
+	w := n.Add(netlist.Gate{Kind: netlist.Dff, Reset: logic.Zero, Name: "w"})
+	n.Gates[a].In[0] = d
+	n.Gates[b].In[0] = d
+	n.Gates[w].In[0] = free
+	n.MarkOutput("b", b)
+	n.MarkOutput("w", w)
+
+	// Samples where a, b and w all track each other (w coincidentally).
+	ss := &SampleSet{Dffs: []netlist.GateID{a, b, w}}
+	for _, v := range []logic.V{logic.Zero, logic.One, logic.One, logic.Zero, logic.One} {
+		ss.Vals = append(ss.Vals, []logic.V{v, v, v})
+	}
+	spec := &Spec{
+		N:       n,
+		Buses:   []Bus{{Name: "pair", Bits: []netlist.GateID{a, b, w}, Control: true}},
+		Samples: ss,
+	}
+	res, err := Prove(context.Background(), spec, nil, Options{})
+	if err != nil {
+		t.Fatalf("Prove: %v", err)
+	}
+	var toB, toW int
+	for i := range res.Invariants {
+		iv := &res.Invariants[i]
+		if iv.IsCube() {
+			continue
+		}
+		switch {
+		case (iv.From == a && iv.To == b) || (iv.From == b && iv.To == a):
+			toB++
+		case iv.To == w || iv.From == w:
+			toW++
+		}
+	}
+	if toB == 0 {
+		t.Fatalf("no a<->b implication proved: %s", equiv.FormatInvariants(res.Invariants))
+	}
+	if toW != 0 {
+		t.Fatalf("implication about the free flip-flop was proved: %s", equiv.FormatInvariants(res.Invariants))
+	}
+}
+
+// TestProveCancelled: a pre-cancelled context aborts without returning
+// partial invariants.
+func TestProveCancelled(t *testing.T) {
+	spec, _, _ := counterSpec([]logic.Word{logic.KnownWord(0)})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Prove(ctx, spec, nil, Options{}); err == nil {
+		t.Fatal("cancelled Prove returned nil error")
+	}
+}
+
+// TestBudgetExhaustionIsSound: an absurdly small conflict budget may
+// abandon levels, but whatever is returned still carries K >= 1.
+func TestBudgetExhaustionIsSound(t *testing.T) {
+	spec, _, _ := counterSpec([]logic.Word{
+		logic.KnownWord(0), logic.KnownWord(1), logic.KnownWord(2),
+	})
+	res, err := Prove(context.Background(), spec, nil, Options{QueryBudget: 1})
+	if err != nil {
+		t.Fatalf("Prove: %v", err)
+	}
+	for i := range res.Invariants {
+		if res.Invariants[i].K < 1 {
+			t.Fatalf("returned invariant with K=%d", res.Invariants[i].K)
+		}
+	}
+}
+
+// TestTraceHook: the Trace observer sees every candidate's fate — each
+// candidate either ends in a "proved" event or its last drop event, and
+// proved events agree with the returned invariants.
+func TestTraceHook(t *testing.T) {
+	spec, _, _ := counterSpec([]logic.Word{
+		logic.KnownWord(0), logic.KnownWord(1), logic.KnownWord(2),
+	})
+	proved := map[string]int{}
+	var events int
+	res, err := Prove(context.Background(), spec, nil, Options{
+		Trace: func(event, name string, k int) {
+			events++
+			switch event {
+			case "proved":
+				proved[name] = k
+			case "base-drop", "step-drop", "budget":
+			default:
+				t.Errorf("unknown trace event %q", event)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("Prove: %v", err)
+	}
+	if events == 0 {
+		t.Fatal("trace hook never fired")
+	}
+	for i := range res.Invariants {
+		iv := &res.Invariants[i]
+		if proved[iv.Name] != iv.K {
+			t.Fatalf("invariant %q: trace says proved at k=%d, result says K=%d",
+				iv.Name, proved[iv.Name], iv.K)
+		}
+	}
+	if len(proved) != len(res.Invariants) {
+		t.Fatalf("trace reported %d proved, result has %d invariants",
+			len(proved), len(res.Invariants))
+	}
+}
+
+func TestIntervalCubes(t *testing.T) {
+	cases := []struct{ lo, hi uint16 }{
+		{0, 0}, {0, 2}, {1, 1}, {3, 17}, {0x0F, 0xF1}, {0, 0xFFFF}, {0xE000, 0xFFFF},
+	}
+	for _, tc := range cases {
+		cubes := intervalCubes(tc.lo, tc.hi)
+		in := func(v uint16) bool {
+			for _, c := range cubes {
+				if v&^c.Mask == c.Val&^c.Mask {
+					return true
+				}
+			}
+			return false
+		}
+		for v := 0; v <= 0xFFFF; v++ {
+			want := uint16(v) >= tc.lo && uint16(v) <= tc.hi
+			if in(uint16(v)) != want {
+				t.Fatalf("[%d,%d]: value %d coverage = %v, want %v (cubes %v)",
+					tc.lo, tc.hi, v, !want, want, cubes)
+			}
+		}
+	}
+}
+
+func TestStuckCube(t *testing.T) {
+	words := []logic.Word{logic.KnownWord(0b1010), logic.KnownWord(0b1000)}
+	cube, ok := stuckCube(words, 4)
+	if !ok {
+		t.Fatal("no stuck bits found")
+	}
+	// Bits 3..0: 1,0,{1,0},0 -> fixed bits 3,2,0 with values 1,0,0.
+	if cube.Mask&0b1111 != 0b0010 || cube.Val != 0b1000 {
+		t.Fatalf("stuck cube %v", cube)
+	}
+	if _, ok := stuckCube([]logic.Word{logic.KnownWord(0b01), logic.KnownWord(0b10)}, 2); ok {
+		t.Fatal("found stuck bits where none exist")
+	}
+}
+
+func TestSeedRange(t *testing.T) {
+	lo, hi, ok := seedRange([]logic.Word{logic.KnownWord(7), logic.KnownWord(3), logic.KnownWord(12)}, 16)
+	if !ok || lo != 3 || hi != 12 {
+		t.Fatalf("range [%d,%d] ok=%v", lo, hi, ok)
+	}
+	if _, _, ok := seedRange([]logic.Word{{Val: 0, Mask: 1}}, 16); ok {
+		t.Fatal("range over X-bearing cube accepted")
+	}
+}

@@ -1,0 +1,103 @@
+package induct
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"bespoke/internal/equiv"
+)
+
+func sampleProvenance() *Provenance {
+	return &Provenance{Invariants: []InvariantRecord{
+		{Name: "r0", K: 1, Cubes: 36, Used: 4},
+		{Name: "state#range", K: 2, Cubes: 3, Used: 0},
+		{Name: "g12=1->g40=0", K: 1, Used: 17},
+	}}
+}
+
+func TestProvenanceRoundTrip(t *testing.T) {
+	p := sampleProvenance()
+	enc := p.Encode()
+	dec, err := DecodeProvenance(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(p, dec) {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", p, dec)
+	}
+	// Through JSON (the diskcache path).
+	js, err := json.Marshal(p)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Provenance
+	if err := json.Unmarshal(js, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(*p, back) {
+		t.Fatalf("JSON round trip mismatch:\n%+v\n%+v", *p, back)
+	}
+}
+
+func TestProvenanceRejectsCorruption(t *testing.T) {
+	enc := sampleProvenance().Encode()
+	if _, err := DecodeProvenance(enc[:len(enc)-1]); err == nil {
+		t.Fatal("truncated encoding accepted")
+	}
+	if _, err := DecodeProvenance(append(enc, 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	bad := append([]byte(nil), enc...)
+	bad[0] ^= 0xFF
+	if _, err := DecodeProvenance(bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestBuildProvenance(t *testing.T) {
+	invs := []equiv.Invariant{
+		{Name: "a", K: 1, Bits: nil},
+		{Name: "b", K: 2},
+	}
+	rep := &equiv.Report{Results: []equiv.ClaimResult{
+		{Verdict: equiv.ProvedSAT, Used: []int32{0}},
+		{Verdict: equiv.ProvedSAT, Used: []int32{0, 1}},
+	}}
+	p := BuildProvenance(invs, rep)
+	if p.Invariants[0].Used != 2 || p.Invariants[1].Used != 1 {
+		t.Fatalf("use counts wrong: %+v", p.Invariants)
+	}
+}
+
+// FuzzProvenanceDecode holds DecodeProvenance to the diskcache contract
+// (see FuzzDiskEntryDecode): arbitrary input must never panic, and any
+// accepted input must re-encode to the identical bytes — the encoding is
+// canonical, so decode/encode is a fixed point.
+func FuzzProvenanceDecode(f *testing.F) {
+	valid := sampleProvenance().Encode()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte(provMagic))
+	f.Add(valid[:len(valid)/2])                         // truncated mid-record
+	f.Add(append([]byte("bPv2"), valid[4:]...))         // version skew
+	f.Add(append([]byte(nil), valid[:len(valid)-3]...)) // missing tail fields
+	corrupted := append([]byte(nil), valid...)
+	corrupted[len(corrupted)/2] ^= 0x20
+	f.Add(corrupted)
+	f.Add([]byte("not a provenance blob"))
+	huge := append([]byte(provMagic), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F) // absurd count
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodeProvenance(data) // must not panic
+		if err != nil {
+			return
+		}
+		again := p.Encode()
+		if !bytes.Equal(again, data) {
+			t.Fatalf("accepted input is not a fixed point:\n in: %x\nout: %x", data, again)
+		}
+	})
+}

@@ -458,7 +458,7 @@ func (m *Machine) readOperand(o msp430.Operand, byteOp bool) uint16 {
 		m.Regs[o.Reg] += inc
 		return load(addr)
 	}
-	panic("isasim: bad operand mode")
+	panic("isasim: bad operand mode") // panic-ok: decode already rejected every other mode
 }
 
 // dstAddr resolves the address of a memory destination.
@@ -469,7 +469,7 @@ func (m *Machine) dstAddr(o msp430.Operand) uint16 {
 	case msp430.ModeAbsolute:
 		return o.Index
 	}
-	panic("isasim: dstAddr of register operand")
+	panic("isasim: dstAddr of register operand") // panic-ok: callers check the mode before asking for an address
 }
 
 // writeReg stores an ALU result into a register with byte semantics
@@ -625,7 +625,7 @@ func (m *Machine) alu(op msp430.Op, src, dst uint16, cIn, byteOp bool) (res uint
 	case msp430.AND:
 		return logicFlags(src & dst), true
 	}
-	panic("isasim: alu on non-format-I op")
+	panic("isasim: alu on non-format-I op") // panic-ok: decode routes only format-I ops here
 }
 
 // dadd is the BCD add-with-carry, digit-serial like the hardware.

@@ -39,7 +39,7 @@ func (v V) Bool() bool {
 	case One:
 		return true
 	}
-	panic("logic: Bool of X")
+	panic("logic: Bool of X") // panic-ok: Bool of X is a caller contract violation, documented above
 }
 
 // String returns "0", "1" or "x".

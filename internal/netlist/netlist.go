@@ -122,7 +122,7 @@ func (k Kind) Eval(a, b, sel logic.V) logic.V {
 	case Mux:
 		return logic.Mux(sel, a, b)
 	}
-	panic("netlist: Eval of non-combinational kind " + k.String())
+	panic("netlist: Eval of non-combinational kind " + k.String()) // panic-ok: Eval of a stateful kind is a caller contract violation
 }
 
 // ModuleID indexes Netlist.Modules. Module 0 is always the root ("").

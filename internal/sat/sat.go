@@ -208,7 +208,7 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 		return false
 	}
 	if len(s.lim) != 0 {
-		panic("sat: AddClause while not at decision level 0")
+		panic("sat: AddClause while not at decision level 0") // panic-ok: incremental API misuse, not a solvable instance
 	}
 	// Simplify: sort, drop duplicates and false-at-level-0 literals,
 	// detect tautologies and satisfied clauses.
@@ -218,7 +218,7 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 	var prev Lit = LitUndef
 	for _, l := range ls {
 		if l.Var() < 0 || int(l.Var()) >= len(s.assign) {
-			panic(fmt.Sprintf("sat: clause uses unknown variable %d", l.Var()))
+			panic(fmt.Sprintf("sat: clause uses unknown variable %d", l.Var())) // panic-ok: clause over undeclared variables is API misuse
 		}
 		if l == prev {
 			continue
@@ -433,11 +433,13 @@ func (s *Solver) redundant(l Lit) bool {
 }
 
 // analyzeFinal computes the subset of assumptions responsible for forcing
-// p false, storing it (negated, i.e. as the failed assumptions) in
-// s.conflict.
+// p false, storing it in s.conflict AS the failed assumption literals
+// (p.Not() for the assumption under establishment, the trail literals
+// for the implying assumptions) so FailedAssumptions hands callers the
+// literals they passed in.
 func (s *Solver) analyzeFinal(p Lit) {
 	s.conflict = s.conflict[:0]
-	s.conflict = append(s.conflict, p)
+	s.conflict = append(s.conflict, p.Not())
 	if len(s.lim) == 0 {
 		return
 	}
@@ -448,7 +450,7 @@ func (s *Solver) analyzeFinal(p Lit) {
 			continue
 		}
 		if s.reason[v] < 0 {
-			s.conflict = append(s.conflict, s.trail[i].Not())
+			s.conflict = append(s.conflict, s.trail[i])
 		} else {
 			for _, q := range s.clauses[s.reason[v]].lits {
 				if s.level[q.Var()] > 0 {
@@ -667,7 +669,7 @@ func (s *Solver) Solve(ctx context.Context, assumptions ...Lit) (Status, error) 
 		if len(s.lim) < len(assumptions) {
 			p := assumptions[len(s.lim)]
 			if p.Var() < 0 || int(p.Var()) >= len(s.assign) {
-				panic(fmt.Sprintf("sat: assumption uses unknown variable %d", p.Var()))
+				panic(fmt.Sprintf("sat: assumption uses unknown variable %d", p.Var())) // panic-ok: assumption over undeclared variables is API misuse
 			}
 			switch s.value(p) {
 			case lTrue:
@@ -715,7 +717,7 @@ func (s *Solver) finalFromClause(confl int32, assumptions []Lit) {
 			continue
 		}
 		if s.reason[v] < 0 {
-			s.conflict = append(s.conflict, s.trail[i].Not())
+			s.conflict = append(s.conflict, s.trail[i])
 		} else {
 			for _, q := range s.clauses[s.reason[v]].lits {
 				if s.level[q.Var()] > 0 {
@@ -736,7 +738,7 @@ func (s *Solver) finalFromClause(confl int32, assumptions []Lit) {
 // no model is available.
 func (s *Solver) Value(v Var) bool {
 	if s.model == nil {
-		panic("sat: Value called without a model")
+		panic("sat: Value called without a model") // panic-ok: Value without a model is API misuse, documented on the method
 	}
 	return s.model[v] == lTrue
 }

@@ -111,6 +111,13 @@ func TestAssumptionsIncremental(t *testing.T) {
 	if len(failed) == 0 {
 		t.Fatal("no failed assumptions reported")
 	}
+	// The failed set must be reported as the assumption literals that
+	// were passed in (not their negations): callers key maps on them.
+	for _, l := range failed {
+		if l != Pos(a) && l != Neg(c) {
+			t.Fatalf("failed assumption %v is not one of the passed assumptions", l)
+		}
+	}
 	// The same solver must remain usable with compatible assumptions.
 	st, err = s.Solve(context.Background(), Pos(a), Pos(c))
 	if err != nil || st != Sat {

@@ -460,7 +460,7 @@ func (s *Sim) drive(id netlist.GateID, v logic.V) {
 // Drive sets a primary input to v (testbench use).
 func (s *Sim) Drive(id netlist.GateID, v logic.V) {
 	if s.N.Gates[id].Kind != netlist.Input {
-		panic("sim: Drive on non-input gate")
+		panic("sim: Drive on non-input gate") // panic-ok: Drive on a non-input is a harness coding error
 	}
 	s.drive(id, v)
 }
@@ -712,7 +712,7 @@ func (s *Sim) ResetToggleCounts() {
 // forking) and schedules downstream recomputation.
 func (s *Sim) ForceDff(id netlist.GateID, v logic.V) {
 	if !s.N.Gates[id].Kind.IsSeq() {
-		panic("sim: ForceDff on non-DFF")
+		panic("sim: ForceDff on non-DFF") // panic-ok: ForceDff on a non-DFF is a harness coding error
 	}
 	s.drive(id, v)
 }
@@ -762,7 +762,7 @@ func (s *Sim) DffDSnapshotInto(dst []logic.V) []logic.V {
 // recomputation of downstream logic.
 func (s *Sim) RestoreDffs(vals []logic.V) {
 	if len(vals) != len(s.dffs) {
-		panic("sim: snapshot length mismatch")
+		panic("sim: snapshot length mismatch") // panic-ok: snapshot from a different netlist is a harness coding error
 	}
 	for i, id := range s.dffs {
 		if vals[i] != s.Val[id] {

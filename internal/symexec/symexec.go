@@ -345,6 +345,9 @@ func newAnalyzer(ctx context.Context, core *cpu.Core, opts Options) (*analyzer, 
 		add("ir", core.IRReg)
 		add("ie", core.IEReg)
 		add("ifg", core.IFReg)
+		for _, mb := range core.Micro {
+			add(mb.Name, mb.Bits)
+		}
 	}
 	for _, bit := range core.PC() {
 		// On a bespoke (cut) core some PC bits are constants (bit 0 is

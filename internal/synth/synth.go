@@ -167,7 +167,7 @@ func collapseBuffers(n *netlist.Netlist) int {
 		for n.Gates[id].Kind == netlist.Buf {
 			id = n.Gates[id].In[0]
 			if seen++; seen > len(n.Gates) {
-				panic("synth: buffer cycle")
+				panic("synth: buffer cycle") // panic-ok: cycle through buffers survived netlist validation: a bug here
 			}
 		}
 		return id
